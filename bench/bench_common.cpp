@@ -1,0 +1,126 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nalq::bench {
+
+double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
+                int repeats) {
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    engine.Run(plan);
+    auto end = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(end - start).count();
+    times.push_back(s);
+    if (s > 2.0) break;  // slow plan: one measurement is informative enough
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+std::string FormatSeconds(double s) {
+  char buf[64];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f s", s);
+  } else if (s >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f s", s);
+  }
+  return buf;
+}
+
+std::string Extrapolated(double seconds) {
+  return "~" + FormatSeconds(seconds) + " (extrapolated)";
+}
+
+bool FullRuns(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+void PrintTable(const std::string& title, const std::string& parameter_name,
+                const std::vector<std::string>& column_headers,
+                const std::vector<Row>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  // Column widths.
+  size_t plan_width = 4;
+  size_t param_width = parameter_name.size();
+  for (const Row& row : rows) {
+    plan_width = std::max(plan_width, row.plan.size());
+    param_width = std::max(param_width, row.parameter.size());
+  }
+  std::vector<size_t> widths;
+  for (size_t c = 0; c < column_headers.size(); ++c) {
+    size_t w = column_headers[c].size();
+    for (const Row& row : rows) {
+      if (c < row.cells.size()) w = std::max(w, row.cells[c].size());
+    }
+    widths.push_back(w);
+  }
+  auto print_sep = [&]() {
+    std::printf("+-%s-+", std::string(plan_width, '-').c_str());
+    if (!parameter_name.empty()) {
+      std::printf("-%s-+", std::string(param_width, '-').c_str());
+    }
+    for (size_t w : widths) std::printf("-%s-+", std::string(w, '-').c_str());
+    std::printf("\n");
+  };
+  print_sep();
+  std::printf("| %-*s |", static_cast<int>(plan_width), "Plan");
+  if (!parameter_name.empty()) {
+    std::printf(" %-*s |", static_cast<int>(param_width),
+                parameter_name.c_str());
+  }
+  for (size_t c = 0; c < column_headers.size(); ++c) {
+    std::printf(" %*s |", static_cast<int>(widths[c]),
+                column_headers[c].c_str());
+  }
+  std::printf("\n");
+  print_sep();
+  for (const Row& row : rows) {
+    std::printf("| %-*s |", static_cast<int>(plan_width), row.plan.c_str());
+    if (!parameter_name.empty()) {
+      std::printf(" %-*s |", static_cast<int>(param_width),
+                  row.parameter.c_str());
+    }
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf(" %*s |", static_cast<int>(widths[c]),
+                  c < row.cells.size() ? row.cells[c].c_str() : "");
+    }
+    std::printf("\n");
+  }
+  print_sep();
+}
+
+void LoadBib(engine::Engine* engine, size_t books, int authors_per_book) {
+  datagen::BibOptions options;
+  options.books = books;
+  options.authors_per_book = authors_per_book;
+  engine->AddDocument("bib.xml", datagen::GenerateBib(options));
+  engine->RegisterDtd("bib.xml", datagen::kBibDtd);
+}
+
+void LoadPrices(engine::Engine* engine, size_t entries) {
+  engine->AddDocument("prices.xml", datagen::GeneratePrices(entries));
+  engine->RegisterDtd("prices.xml", datagen::kPricesDtd);
+}
+
+void LoadBibAndReviews(engine::Engine* engine, size_t n) {
+  LoadBib(engine, n, 2);
+  engine->AddDocument("reviews.xml", datagen::GenerateReviews(n));
+  engine->RegisterDtd("reviews.xml", datagen::kReviewsDtd);
+}
+
+void LoadBids(engine::Engine* engine, size_t bids) {
+  datagen::AuctionOptions options;
+  options.bids = bids;
+  engine->AddDocument("bids.xml", datagen::GenerateBids(options));
+  engine->RegisterDtd("bids.xml", datagen::kBidsDtd);
+}
+
+}  // namespace nalq::bench

@@ -1,0 +1,62 @@
+// Shared benchmark harness: engine setup per use case, adaptive timing and
+// paper-style table printing.
+//
+// Each bench binary regenerates one table of the paper's Sec. 5. Absolute
+// times differ from the 2003 testbed (Natix on a 2.4 GHz P4); the reported
+// *shape* — nested plans scale quadratically, unnested plans linearly, who
+// wins by what factor — is the reproduction target (see EXPERIMENTS.md).
+#ifndef NALQ_BENCH_BENCH_COMMON_H_
+#define NALQ_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+
+namespace nalq::bench {
+
+/// Wall-clock seconds for one evaluation of `plan` (median of `repeats`
+/// runs; repeats shrink automatically for slow plans).
+double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
+                int repeats = 3);
+
+/// Formats seconds the way the paper's tables do ("0.08 s", "7.04 s").
+std::string FormatSeconds(double s);
+
+/// One row of a result table.
+struct Row {
+  std::string plan;
+  std::string parameter;  // e.g. authors per book; may be empty
+  std::vector<std::string> cells;
+};
+
+/// Prints a paper-style table.
+void PrintTable(const std::string& title, const std::string& parameter_name,
+                const std::vector<std::string>& column_headers,
+                const std::vector<Row>& rows);
+
+/// Quadratic extrapolation marker for cells too slow to measure directly
+/// (the paper itself stops measuring the nested plan on DBLP, Sec. 5.1).
+std::string Extrapolated(double seconds);
+
+/// True if the full (slow) nested measurements were requested via
+/// --full on the command line.
+bool FullRuns(int argc, char** argv);
+
+/// Loads bib.xml (+DTD) into a fresh engine.
+void LoadBib(engine::Engine* engine, size_t books, int authors_per_book);
+/// Loads prices.xml.
+void LoadPrices(engine::Engine* engine, size_t entries);
+/// Loads bib.xml and reviews.xml.
+void LoadBibAndReviews(engine::Engine* engine, size_t n);
+/// Loads bids.xml (items = bids/5).
+void LoadBids(engine::Engine* engine, size_t bids);
+
+}  // namespace nalq::bench
+
+#endif  // NALQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 6 — sizes of the generated input documents.
+//
+// The paper's Fig. 6 lists the serialized sizes of the six use-case
+// documents at 100/1000/10000 elements (and 2/5/10 authors per book for
+// bib.xml). This bench prints the same table for our ToXgene-substitute
+// generator; the sizes land in the same order of magnitude (see
+// EXPERIMENTS.md for the side-by-side numbers).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nalq;
+  const std::vector<size_t> sizes = {100, 1000, 10000};
+  std::printf("F6: generated input document sizes (paper Fig. 6)\n");
+
+  std::vector<bench::Row> rows;
+  for (int apb : {2, 5, 10}) {
+    bench::Row row;
+    row.plan = "bib.xml";
+    row.parameter = std::to_string(apb) + " authors/book";
+    for (size_t size : sizes) {
+      datagen::BibOptions options;
+      options.books = size;
+      options.authors_per_book = apb;
+      row.cells.push_back(FormatBytes(datagen::GenerateBib(options).size()));
+    }
+    rows.push_back(row);
+  }
+  {
+    bench::Row row;
+    row.plan = "prices.xml";
+    for (size_t size : sizes) {
+      row.cells.push_back(FormatBytes(datagen::GeneratePrices(size).size()));
+    }
+    rows.push_back(row);
+  }
+  {
+    bench::Row row;
+    row.plan = "reviews.xml";
+    for (size_t size : sizes) {
+      row.cells.push_back(FormatBytes(datagen::GenerateReviews(size).size()));
+    }
+    rows.push_back(row);
+  }
+  for (const char* which : {"bids", "items", "users"}) {
+    bench::Row row;
+    row.plan = std::string(which) + ".xml";
+    for (size_t size : sizes) {
+      datagen::AuctionOptions options;
+      options.bids = size;
+      std::string doc = std::string(which) == "bids"
+                            ? datagen::GenerateBids(options)
+                        : std::string(which) == "items"
+                            ? datagen::GenerateItems(options)
+                            : datagen::GenerateUsers(options);
+      row.cells.push_back(FormatBytes(doc.size()));
+    }
+    rows.push_back(row);
+  }
+  bench::PrintTable("Serialized size (elements = 100 / 1000 / 10000)",
+                    "variant", {"100", "1000", "10000"}, rows);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Bibliography restructuring — the paper's motivating scenario (Sec. 5.1)
+// on generated data, comparing every plan the rewriter produces.
+//
+//   $ ./examples/bibliography_grouping [books] [authors_per_book]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace nalq;
+  size_t books = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 500;
+  int authors_per_book = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  engine::Engine engine;
+  datagen::BibOptions options;
+  options.books = books;
+  options.authors_per_book = authors_per_book;
+  engine.AddDocument("bib.xml", datagen::GenerateBib(options));
+  engine.RegisterDtd("bib.xml", datagen::kBibDtd);
+
+  engine::CompiledQuery q = engine.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author>
+        <name>{ $a1 }</name>
+        {
+          let $d2 := doc("bib.xml")
+          for $b2 in $d2//book[$a1 = author]
+          return $b2/title
+        }
+      </author>
+  )");
+
+  std::printf("bib.xml: %zu books, %d authors/book\n\n", books,
+              authors_per_book);
+  std::printf("%-36s %12s %12s %10s\n", "plan", "time", "doc scans",
+              "output B");
+  std::string reference;
+  for (const rewrite::Alternative& alt : q.alternatives) {
+    auto start = std::chrono::steady_clock::now();
+    engine::RunResult r = engine.Run(alt.plan);
+    double s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    std::printf("%-36s %10.4f s %12llu %10zu\n", alt.rule.c_str(), s,
+                static_cast<unsigned long long>(r.stats.doc_scans),
+                r.output.size());
+    if (reference.empty()) {
+      reference = r.output;
+    } else if (r.output != reference) {
+      std::printf("  ^^ OUTPUT MISMATCH against the nested plan!\n");
+      return 1;
+    }
+  }
+  std::printf("\nAll plans produced identical output (%zu bytes).\n",
+              reference.size());
+  return 0;
+}

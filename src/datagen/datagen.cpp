@@ -1,0 +1,284 @@
+#include "datagen/datagen.h"
+
+#include <random>
+
+namespace nalq::datagen {
+
+const char kBibDtd[] = R"(
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, (author+ | editor+), publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT author (last, first)>
+<!ELEMENT editor (last, first, affiliation)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+)";
+
+const char kReviewsDtd[] = R"(
+<!ELEMENT reviews (entry*)>
+<!ELEMENT entry (title, price, review)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+)";
+
+const char kPricesDtd[] = R"(
+<!ELEMENT prices (book*)>
+<!ELEMENT book (title, source, price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+)";
+
+const char kUsersDtd[] = R"(
+<!ELEMENT users (usertuple*)>
+<!ELEMENT usertuple (userid, name, rating?)>
+<!ELEMENT userid (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT rating (#PCDATA)>
+)";
+
+const char kItemsDtd[] = R"(
+<!ELEMENT items (itemtuple*)>
+<!ELEMENT itemtuple (itemno, description, offered_by, startdate?, enddate?,
+                     reserveprice?)>
+<!ELEMENT itemno (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT offered_by (#PCDATA)>
+<!ELEMENT startdate (#PCDATA)>
+<!ELEMENT enddate (#PCDATA)>
+<!ELEMENT reserveprice (#PCDATA)>
+)";
+
+const char kBidsDtd[] = R"(
+<!ELEMENT bids (bidtuple*)>
+<!ELEMENT bidtuple (userid, itemno, bid, biddate)>
+<!ELEMENT userid (#PCDATA)>
+<!ELEMENT itemno (#PCDATA)>
+<!ELEMENT bid (#PCDATA)>
+<!ELEMENT biddate (#PCDATA)>
+)";
+
+const char kDblpDtd[] = R"(
+<!ELEMENT dblp ((book | article | phdthesis)*)>
+<!ELEMENT book (author+, title, publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT article (author+, title, journal)>
+<!ELEMENT phdthesis (author, title, school)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT school (#PCDATA)>
+)";
+
+namespace {
+
+void AppendElement(std::string* out, const char* tag,
+                   const std::string& text) {
+  *out += '<';
+  *out += tag;
+  *out += '>';
+  *out += text;
+  *out += "</";
+  *out += tag;
+  *out += ">\n";
+}
+
+std::string AuthorLast(size_t i, size_t suciu_every) {
+  if (suciu_every != 0 && i % suciu_every == suciu_every - 1) {
+    return "Suciu" + std::to_string(i);
+  }
+  return "Last" + std::to_string(i);
+}
+
+}  // namespace
+
+std::string GenerateBib(const BibOptions& options) {
+  std::mt19937 rng(options.seed);
+  size_t pool = options.author_pool == 0 ? options.books : options.author_pool;
+  std::uniform_int_distribution<int> year(1990, 2003);
+  std::string out = "<bib>\n";
+  out.reserve(options.books * 200);
+  for (size_t b = 0; b < options.books; ++b) {
+    out += "<book year=\"" + std::to_string(year(rng)) + "\">\n";
+    AppendElement(&out, "title", "Title" + std::to_string(b));
+    // Authors are assigned round-robin with stride so every pool author
+    // appears and each author accumulates ~authors_per_book books.
+    for (int j = 0; j < options.authors_per_book; ++j) {
+      size_t a = (b + j * (pool / options.authors_per_book + 1)) % pool;
+      out += "<author>\n";
+      AppendElement(&out, "last", AuthorLast(a, options.suciu_every));
+      AppendElement(&out, "first", "First" + std::to_string(a));
+      out += "</author>\n";
+    }
+    AppendElement(&out, "publisher",
+                  "Publisher" + std::to_string(b % 17));
+    AppendElement(&out, "price",
+                  std::to_string(20 + static_cast<int>(b % 80)) + "." +
+                      std::to_string(b % 10) + "0");
+    out += "</book>\n";
+  }
+  out += "</bib>\n";
+  return out;
+}
+
+std::string GeneratePrices(size_t entries, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> cents(0, 99);
+  size_t titles = entries == 0 ? 0 : (entries + 1) / 2;
+  std::string out = "<prices>\n";
+  out.reserve(entries * 120);
+  for (size_t i = 0; i < entries; ++i) {
+    out += "<book>\n";
+    AppendElement(&out, "title", "Title" + std::to_string(i % titles));
+    AppendElement(&out, "source", "source" + std::to_string(i % 7));
+    int c = cents(rng);
+    AppendElement(&out, "price",
+                  std::to_string(10 + static_cast<int>(i % 90)) + "." +
+                      (c < 10 ? "0" : "") + std::to_string(c));
+    out += "</book>\n";
+  }
+  out += "</prices>\n";
+  return out;
+}
+
+std::string GenerateReviews(size_t entries, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> cents(0, 99);
+  std::string out = "<reviews>\n";
+  out.reserve(entries * 140);
+  for (size_t i = 0; i < entries; ++i) {
+    out += "<entry>\n";
+    // Even indices match bib titles; odd ones review unknown books, so about
+    // half the bib books have a review.
+    AppendElement(&out, "title",
+                  i % 2 == 0 ? "Title" + std::to_string(i)
+                             : "Unlisted" + std::to_string(i));
+    int c = cents(rng);
+    AppendElement(&out, "price",
+                  std::to_string(10 + static_cast<int>(i % 90)) + "." +
+                      (c < 10 ? "0" : "") + std::to_string(c));
+    AppendElement(&out, "review",
+                  "A thorough review of volume " + std::to_string(i) +
+                      " with detailed commentary.");
+    out += "</entry>\n";
+  }
+  out += "</reviews>\n";
+  return out;
+}
+
+std::string GenerateUsers(const AuctionOptions& options) {
+  size_t users = options.users != 0 ? options.users
+                                    : std::max<size_t>(1, options.bids / 3);
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<int> rating(1, 10);
+  std::string out = "<users>\n";
+  for (size_t u = 0; u < users; ++u) {
+    out += "<usertuple>\n";
+    AppendElement(&out, "userid", "U" + std::to_string(u));
+    AppendElement(&out, "name", "User Name " + std::to_string(u));
+    if (u % 3 != 0) {
+      AppendElement(&out, "rating", std::to_string(rating(rng)));
+    }
+    out += "</usertuple>\n";
+  }
+  out += "</users>\n";
+  return out;
+}
+
+std::string GenerateItems(const AuctionOptions& options) {
+  size_t items = options.items != 0 ? options.items
+                                    : std::max<size_t>(1, options.bids / 5);
+  size_t users = options.users != 0 ? options.users
+                                    : std::max<size_t>(1, options.bids / 3);
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<int> reserve(50, 500);
+  std::string out = "<items>\n";
+  for (size_t i = 0; i < items; ++i) {
+    out += "<itemtuple>\n";
+    AppendElement(&out, "itemno", "I" + std::to_string(i));
+    AppendElement(&out, "description", "Item number " + std::to_string(i));
+    AppendElement(&out, "offered_by", "U" + std::to_string(i % users));
+    if (i % 2 == 0) AppendElement(&out, "startdate", "2003-01-15");
+    if (i % 2 == 0) AppendElement(&out, "enddate", "2003-02-15");
+    if (i % 4 == 0) {
+      AppendElement(&out, "reserveprice", std::to_string(reserve(rng)));
+    }
+    out += "</itemtuple>\n";
+  }
+  out += "</items>\n";
+  return out;
+}
+
+std::string GenerateBids(const AuctionOptions& options) {
+  size_t items = options.items != 0 ? options.items
+                                    : std::max<size_t>(1, options.bids / 5);
+  size_t users = options.users != 0 ? options.users
+                                    : std::max<size_t>(1, options.bids / 3);
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<size_t> item(0, items - 1);
+  std::uniform_int_distribution<size_t> user(0, users - 1);
+  std::uniform_int_distribution<int> amount(10, 999);
+  std::string out = "<bids>\n";
+  out.reserve(options.bids * 130);
+  for (size_t b = 0; b < options.bids; ++b) {
+    out += "<bidtuple>\n";
+    AppendElement(&out, "userid", "U" + std::to_string(user(rng)));
+    AppendElement(&out, "itemno", "I" + std::to_string(item(rng)));
+    AppendElement(&out, "bid", std::to_string(amount(rng)));
+    AppendElement(&out, "biddate",
+                  "2003-0" + std::to_string(1 + b % 9) + "-" +
+                      (b % 28 + 1 < 10 ? "0" : "") +
+                      std::to_string(b % 28 + 1));
+    out += "</bidtuple>\n";
+  }
+  out += "</bids>\n";
+  return out;
+}
+
+std::string GenerateDblp(const DblpOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<int> year(1990, 2003);
+  std::uniform_int_distribution<int> percent(0, 99);
+  size_t authors = std::max<size_t>(1, options.publications / 2);
+  std::string out = "<dblp>\n";
+  out.reserve(options.publications * 160);
+  for (size_t p = 0; p < options.publications; ++p) {
+    int kind = percent(rng);
+    size_t a1 = (p * 7) % authors;
+    size_t a2 = (p * 13 + 1) % authors;
+    if (kind < options.book_percent) {
+      out += "<book year=\"" + std::to_string(year(rng)) + "\">\n";
+      AppendElement(&out, "author", "Author " + std::to_string(a1));
+      AppendElement(&out, "author", "Author " + std::to_string(a2));
+      AppendElement(&out, "title", "Book Title " + std::to_string(p));
+      AppendElement(&out, "publisher", "Pub" + std::to_string(p % 11));
+      AppendElement(&out, "price",
+                    std::to_string(25 + static_cast<int>(p % 60)) + ".00");
+      out += "</book>\n";
+    } else if (kind < 85) {
+      out += "<article>\n";
+      AppendElement(&out, "author", "Author " + std::to_string(a1));
+      AppendElement(&out, "author", "Author " + std::to_string(a2));
+      AppendElement(&out, "title", "Article Title " + std::to_string(p));
+      AppendElement(&out, "journal", "Journal " + std::to_string(p % 23));
+      out += "</article>\n";
+    } else {
+      out += "<phdthesis>\n";
+      AppendElement(&out, "author", "Author " + std::to_string(a1));
+      AppendElement(&out, "title", "Thesis Title " + std::to_string(p));
+      AppendElement(&out, "school", "University " + std::to_string(p % 13));
+      out += "</phdthesis>\n";
+    }
+  }
+  out += "</dblp>\n";
+  return out;
+}
+
+}  // namespace nalq::datagen

@@ -1,0 +1,77 @@
+// Synthetic document generator — the ToXgene substitute (paper Sec. 5).
+//
+// Generates the six XQuery use-case documents against the DTDs of Fig. 5
+// with the paper's size parameters (100/1000/10000 elements, 2/5/10 authors
+// per book, |items| = |bids|/5, 1–10 users per bid), plus a DBLP-like
+// bibliography in which authors occur under several publication kinds —
+// the document shape that invalidates Eqv. 5's side condition (Sec. 5.1).
+#ifndef NALQ_DATAGEN_DATAGEN_H_
+#define NALQ_DATAGEN_DATAGEN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace nalq::datagen {
+
+// DTDs from the paper's Fig. 5 (internal-subset form, parseable by
+// xml::Dtd::Parse).
+extern const char kBibDtd[];
+extern const char kReviewsDtd[];
+extern const char kPricesDtd[];
+extern const char kUsersDtd[];
+extern const char kItemsDtd[];
+extern const char kBidsDtd[];
+extern const char kDblpDtd[];
+
+struct BibOptions {
+  size_t books = 100;
+  int authors_per_book = 2;
+  /// Size of the author pool; 0 → same as `books` (the paper's setting:
+  /// "100, 1000, or 10000 books and authors").
+  size_t author_pool = 0;
+  /// Every `suciu_every`-th author gets the last name "Suciu<i>" so the
+  /// Sec. 5.4 query selects a stable fraction; 0 disables.
+  size_t suciu_every = 20;
+  unsigned seed = 42;
+};
+
+/// bib.xml: books with title, authors, publisher, price and a year
+/// attribute between 1990 and 2003.
+std::string GenerateBib(const BibOptions& options);
+
+/// prices.xml: `entries` book elements; roughly two price entries (sources)
+/// per distinct title.
+std::string GeneratePrices(size_t entries, unsigned seed = 42);
+
+/// reviews.xml: `entries` review entries whose titles overlap ~50% with the
+/// bib titles of the same index space.
+std::string GenerateReviews(size_t entries, unsigned seed = 42);
+
+struct AuctionOptions {
+  size_t bids = 100;
+  /// 0 → bids / 5 (the paper: "the number of items equals 1/5 times the
+  /// number of bids").
+  size_t items = 0;
+  /// 0 → derived: between 1 and 10 users per bid (paper Fig. 6 text).
+  size_t users = 0;
+  unsigned seed = 42;
+};
+
+std::string GenerateUsers(const AuctionOptions& options);
+std::string GenerateItems(const AuctionOptions& options);
+std::string GenerateBids(const AuctionOptions& options);
+
+struct DblpOptions {
+  size_t publications = 1000;
+  /// Fraction (percent) of publications that are books; the rest are
+  /// articles and theses, so many authors never write a book.
+  int book_percent = 20;
+  unsigned seed = 42;
+};
+
+/// DBLP-like bibliography (publications of mixed kinds).
+std::string GenerateDblp(const DblpOptions& options);
+
+}  // namespace nalq::datagen
+
+#endif  // NALQ_DATAGEN_DATAGEN_H_

@@ -1,0 +1,55 @@
+#include "engine/engine.h"
+
+#include "xml/parser.h"
+#include "xquery/normalize.h"
+#include "xquery/parser.h"
+#include "xquery/translate.h"
+
+namespace nalq::engine {
+
+const rewrite::Alternative* CompiledQuery::Find(
+    std::string_view rule_substring) const {
+  for (const rewrite::Alternative& alt : alternatives) {
+    if (alt.rule.find(rule_substring) != std::string::npos) return &alt;
+  }
+  return nullptr;
+}
+
+void Engine::AddDocument(const std::string& name, std::string_view xml_text) {
+  xml::Document doc = xml::ParseDocument(name, xml_text);
+  if (!doc.dtd_text().empty()) {
+    dtds_.Register(name, xml::Dtd::Parse(doc.dtd_text()));
+  }
+  store_.AddDocument(std::move(doc));
+}
+
+void Engine::RegisterDtd(const std::string& name, std::string_view dtd_text) {
+  dtds_.Register(name, xml::Dtd::Parse(dtd_text));
+}
+
+CompiledQuery Engine::Compile(std::string_view query_text) const {
+  CompiledQuery out;
+  out.ast = xquery::ParseQuery(query_text);
+  out.normalized = xquery::Normalize(out.ast);
+  out.nested_plan = xquery::Translate(out.normalized, &dtds_);
+  rewrite::Unnester unnester(&dtds_);
+  out.alternatives = unnester.Alternatives(out.nested_plan);
+  out.best = unnester.Best(out.nested_plan);
+  return out;
+}
+
+RunResult Engine::Run(const nal::AlgebraPtr& plan) const {
+  nal::Evaluator evaluator(store_);
+  evaluator.Eval(*plan);
+  RunResult result;
+  result.output = evaluator.output();
+  result.stats = evaluator.stats();
+  return result;
+}
+
+RunResult Engine::RunQuery(std::string_view query_text) const {
+  CompiledQuery q = Compile(query_text);
+  return Run(q.best.plan);
+}
+
+}  // namespace nalq::engine

@@ -1,0 +1,69 @@
+// Engine façade: document store + DTD registry + the full pipeline
+// parse → normalize → translate → unnest → evaluate.
+#ifndef NALQ_ENGINE_ENGINE_H_
+#define NALQ_ENGINE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nal/eval.h"
+#include "rewrite/unnester.h"
+#include "xml/dtd.h"
+#include "xml/store.h"
+#include "xquery/ast.h"
+
+namespace nalq::engine {
+
+/// Compilation artifact: every stage's output plus all plan alternatives.
+struct CompiledQuery {
+  xquery::AstPtr ast;
+  xquery::AstPtr normalized;
+  nal::AlgebraPtr nested_plan;
+  /// All alternatives, [0] = {"nested", nested_plan}.
+  std::vector<rewrite::Alternative> alternatives;
+  /// The plan the engine would execute (best rule priority).
+  rewrite::Alternative best;
+
+  /// Alternative whose rule name contains `rule_substring`, or nullptr.
+  const rewrite::Alternative* Find(std::string_view rule_substring) const;
+};
+
+/// One query execution's outcome.
+struct RunResult {
+  std::string output;
+  nal::EvalStats stats;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+
+  xml::Store& store() { return store_; }
+  const xml::Store& store() const { return store_; }
+  const xml::DtdRegistry& dtds() const { return dtds_; }
+
+  /// Parses and stores a document. If the text carries a DOCTYPE internal
+  /// subset, its DTD is registered automatically.
+  void AddDocument(const std::string& name, std::string_view xml_text);
+
+  /// Registers (or overrides) the DTD for `name`.
+  void RegisterDtd(const std::string& name, std::string_view dtd_text);
+
+  /// Full compilation pipeline. Throws on parse/translate errors.
+  CompiledQuery Compile(std::string_view query_text) const;
+
+  /// Evaluates a plan, returning the constructed result and statistics.
+  RunResult Run(const nal::AlgebraPtr& plan) const;
+
+  /// Convenience: compile with unnesting and run the best plan.
+  RunResult RunQuery(std::string_view query_text) const;
+
+ private:
+  xml::Store store_;
+  xml::DtdRegistry dtds_;
+};
+
+}  // namespace nalq::engine
+
+#endif  // NALQ_ENGINE_ENGINE_H_

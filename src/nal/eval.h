@@ -1,0 +1,112 @@
+// The NAL evaluator.
+//
+// Implements every operator of Sec. 2 with order-preserving semantics.
+// Nested algebraic expressions in subscripts are re-evaluated per input
+// tuple — precisely the nested-loop strategy whose cost the unnesting
+// equivalences eliminate — and the evaluator counts those re-evaluations and
+// document scans so the benchmarks can report them.
+#ifndef NALQ_NAL_EVAL_H_
+#define NALQ_NAL_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "nal/algebra.h"
+#include "nal/physical.h"
+#include "xml/store.h"
+
+namespace nalq::nal {
+
+/// Counters accumulated during evaluation.
+struct EvalStats {
+  uint64_t nested_alg_evals = 0;  ///< nested algebra subscript evaluations
+  uint64_t doc_scans = 0;         ///< descendant-axis walks from a doc root
+  uint64_t tuples_produced = 0;   ///< tuples emitted by all operators
+  uint64_t predicate_evals = 0;
+  xml::XPathStats xpath;
+
+  void Reset() { *this = EvalStats(); }
+};
+
+/// Evaluates algebra trees against a document store. The evaluator owns the
+/// Ξ output stream; a full query run is Eval() followed by output().
+class Evaluator {
+ public:
+  explicit Evaluator(const xml::Store& store) : store_(store) {}
+
+  /// Evaluates `op` with no outer bindings. Clears the common-subexpression
+  /// cache first (each top-level run re-reads the documents).
+  Sequence Eval(const AlgebraOp& op) {
+    cse_cache_.clear();
+    return EvalOp(op, Tuple());
+  }
+
+  /// Evaluates `op` with outer variable bindings `env` (used for nested
+  /// algebraic expressions).
+  Sequence EvalOp(const AlgebraOp& op, const Tuple& env);
+
+  /// Evaluates a scalar expression. `local` is the current tuple (shadows
+  /// `env`).
+  Value EvalExpr(const Expr& e, const Tuple& local, const Tuple& env);
+
+  /// Effective boolean value of an expression.
+  bool EvalPred(const Expr& e, const Tuple& local, const Tuple& env);
+
+  /// Applies an aggregate spec to a group (with outer bindings for its
+  /// filter predicate).
+  Value ApplyAgg(const AggSpec& agg, const Sequence& group, const Tuple& env);
+
+  /// f(ε): the meaningful value f assigns to the empty group.
+  Value AggEmptyValue(const AggSpec& agg);
+
+  /// Renders a value onto the Ξ output stream the way result construction
+  /// does: nodes serialize as subtrees, atomics as encoded text, sequences
+  /// item-wise.
+  void RenderValue(const Value& v, std::string* out) const;
+
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  EvalStats& stats() { return stats_; }
+  const xml::Store& store() const { return store_; }
+
+  /// XQuery general comparison between two (possibly sequence) values.
+  bool GeneralCompare(CmpOp op, const Value& lhs, const Value& rhs);
+
+ private:
+  Sequence EvalSelect(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalProject(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalMap(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalUnnestMap(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalUnnest(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalCrossJoin(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalSemiAntiJoin(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalOuterJoin(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalGroupUnary(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalGroupBinary(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalSort(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalXi(const AlgebraOp& op, const Tuple& env);
+  Sequence EvalXiGroup(const AlgebraOp& op, const Tuple& env);
+
+  Value EvalFnCall(const Expr& e, const Tuple& local, const Tuple& env);
+  Value EvalPathExpr(const Expr& e, const Tuple& local, const Tuple& env);
+  bool AtomicCompare(CmpOp op, const Value& lhs, const Value& rhs);
+  void RunXiProgram(const XiProgram& program, const Tuple& t,
+                    const Tuple& env);
+
+  const xml::Store& store_;
+  EvalStats stats_;
+  std::string output_;
+  std::map<int, Sequence> cse_cache_;
+};
+
+/// Flattens a value to its item sequence (null → empty, atomic/node →
+/// singleton, item-seq → items, tuple-seq → single-attribute values).
+void FlattenToItems(const Value& v, ItemSeq* out);
+
+/// Effective boolean value per the XQuery rules the paper assumes.
+bool EffectiveBooleanValue(const Value& v);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_EVAL_H_

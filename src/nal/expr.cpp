@@ -1,0 +1,352 @@
+#include "nal/expr.h"
+
+#include "nal/algebra.h"
+
+namespace nalq::nal {
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return CmpOp::kEq;
+}
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool AggSpec::DependsOn(Symbol a) const {
+  if (project == a) return true;
+  if (filter != nullptr) {
+    std::vector<Symbol> refs;
+    CollectFreeAttrs(*filter, &refs);
+    for (Symbol s : refs) {
+      if (s == a) return true;
+    }
+  }
+  return false;
+}
+
+AggSpec AggSpec::CloneSpec() const {
+  AggSpec out = *this;
+  if (filter != nullptr) out.filter = filter->Clone();
+  return out;
+}
+
+std::string AggSpec::DebugString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kId:
+      out = "id";
+      break;
+    case Kind::kProjectItems:
+      out = "Pi_" + std::string(project.str());
+      break;
+    case Kind::kCount:
+      out = "count";
+      break;
+    case Kind::kMin:
+      out = "min(" + std::string(project.str()) + ")";
+      break;
+    case Kind::kMax:
+      out = "max(" + std::string(project.str()) + ")";
+      break;
+    case Kind::kSum:
+      out = "sum(" + std::string(project.str()) + ")";
+      break;
+    case Kind::kAvg:
+      out = "avg(" + std::string(project.str()) + ")";
+      break;
+  }
+  if (filter != nullptr) out += " o sigma[" + filter->DebugString() + "]";
+  return out;
+}
+
+AggSpec AggId() {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kId;
+  return a;
+}
+
+AggSpec AggProjectItems(Symbol attr) {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kProjectItems;
+  a.project = attr;
+  return a;
+}
+
+AggSpec AggCount() {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kCount;
+  return a;
+}
+
+AggSpec AggOf(AggSpec::Kind kind, Symbol input) {
+  AggSpec a;
+  a.kind = kind;
+  a.project = input;
+  return a;
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_shared<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->attr = attr;
+  out->cmp = cmp;
+  out->fn = fn;
+  out->path = path;
+  out->quant = quant;
+  out->quant_var = quant_var;
+  out->agg = agg.CloneSpec();
+  out->arith = arith;
+  if (alg != nullptr) out->alg = alg->Clone();
+  out->children.reserve(children.size());
+  for (const ExprPtr& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string Expr::DebugString() const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return literal.DebugString();
+    case ExprKind::kAttrRef:
+      return std::string(attr.str());
+    case ExprKind::kCmp:
+      return children[0]->DebugString() + " " + std::string(CmpOpName(cmp)) +
+             " " + children[1]->DebugString();
+    case ExprKind::kAnd:
+      return "(" + children[0]->DebugString() + " and " +
+             children[1]->DebugString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->DebugString() + " or " +
+             children[1]->DebugString() + ")";
+    case ExprKind::kNot:
+      return "not(" + children[0]->DebugString() + ")";
+    case ExprKind::kFnCall: {
+      std::string out = fn + "(";
+      bool first = true;
+      for (const ExprPtr& c : children) {
+        if (!first) out += ", ";
+        out += c->DebugString();
+        first = false;
+      }
+      return out + ")";
+    }
+    case ExprKind::kPath:
+      return children[0]->DebugString() + "/" + path.ToString();
+    case ExprKind::kNestedAlg:
+      return "<alg:" + std::string(OpKindName(alg->kind)) + ">";
+    case ExprKind::kBindTuples:
+      return children[0]->DebugString() + "[" + std::string(attr.str()) + "]";
+    case ExprKind::kQuant:
+      return std::string(quant == QuantKind::kSome ? "some " : "every ") +
+             std::string(quant_var.str()) + " in <alg> satisfies " +
+             children[0]->DebugString();
+    case ExprKind::kAgg:
+      return agg.DebugString() + "(" + children[0]->DebugString() + ")";
+    case ExprKind::kArith:
+      return "(" + children[0]->DebugString() + " " +
+             std::string(ArithOpName(arith)) + " " +
+             children[1]->DebugString() + ")";
+    case ExprKind::kCond:
+      return "if (" + children[0]->DebugString() + ") then " +
+             children[1]->DebugString() + " else " +
+             children[2]->DebugString();
+  }
+  return "?";
+}
+
+ExprPtr MakeConst(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeAttrRef(Symbol a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAttrRef;
+  e->attr = a;
+  return e;
+}
+
+ExprPtr MakeCmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCmp;
+  e->cmp = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  if (lhs == nullptr) return rhs;
+  if (rhs == nullptr) return lhs;
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+ExprPtr MakeFnCall(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFnCall;
+  e->fn = std::move(fn);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakePath(ExprPtr context, xml::Path path) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kPath;
+  e->children = {std::move(context)};
+  e->path = std::move(path);
+  return e;
+}
+
+ExprPtr MakeNestedAlg(AlgebraPtr alg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNestedAlg;
+  e->alg = std::move(alg);
+  return e;
+}
+
+ExprPtr MakeBindTuples(ExprPtr items, Symbol attr) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBindTuples;
+  e->children = {std::move(items)};
+  e->attr = attr;
+  return e;
+}
+
+ExprPtr MakeQuant(QuantKind kind, Symbol var, AlgebraPtr range, ExprPtr pred) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kQuant;
+  e->quant = kind;
+  e->quant_var = var;
+  e->alg = std::move(range);
+  e->children = {std::move(pred)};
+  return e;
+}
+
+ExprPtr MakeAgg(AggSpec spec, ExprPtr input) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAgg;
+  e->agg = std::move(spec);
+  e->children = {std::move(input)};
+  return e;
+}
+
+std::string_view ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "div";
+    case ArithOp::kMod:
+      return "mod";
+  }
+  return "?";
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr MakeCond(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCond;
+  e->children = {std::move(cond), std::move(then_e), std::move(else_e)};
+  return e;
+}
+
+ExprPtr SubstituteAttr(const ExprPtr& e, Symbol from, Symbol to) {
+  ExprPtr out = e->Clone();
+  // Post-order walk replacing kAttrRef nodes in place.
+  std::vector<Expr*> stack = {out.get()};
+  while (!stack.empty()) {
+    Expr* cur = stack.back();
+    stack.pop_back();
+    if (cur->kind == ExprKind::kAttrRef && cur->attr == from) {
+      cur->attr = to;
+    }
+    if (cur->agg.filter != nullptr) stack.push_back(cur->agg.filter.get());
+    if (cur->agg.project == from) cur->agg.project = to;
+    for (const ExprPtr& c : cur->children) stack.push_back(c.get());
+    // Nested algebra subtrees in translated plans never *bind* the variable
+    // being substituted, but their subscripts may reference it.
+    if (cur->alg != nullptr) {
+      std::vector<AlgebraOp*> ops = {cur->alg.get()};
+      while (!ops.empty()) {
+        AlgebraOp* op = ops.back();
+        ops.pop_back();
+        for (const AlgebraPtr& c : op->children) ops.push_back(c.get());
+        for (ExprPtr sub : {op->pred, op->expr}) {
+          if (sub != nullptr) stack.push_back(sub.get());
+        }
+        if (op->agg.filter != nullptr) stack.push_back(op->agg.filter.get());
+      }
+    }
+  }
+  return out;
+}
+
+void CollectFreeAttrs(const Expr& e, std::vector<Symbol>* out) {
+  if (e.kind == ExprKind::kAttrRef) {
+    out->push_back(e.attr);
+    return;
+  }
+  for (const ExprPtr& c : e.children) CollectFreeAttrs(*c, out);
+  // Free attrs of nested algebra are handled by the analysis module, which
+  // knows the algebra's own bound attributes; CollectFreeAttrs is the purely
+  // syntactic helper.
+}
+
+}  // namespace nalq::nal

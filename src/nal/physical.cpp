@@ -1,0 +1,146 @@
+#include "nal/physical.h"
+
+#include <algorithm>
+
+#include "xml/store.h"
+
+namespace nalq::nal {
+
+namespace {
+
+/// Atomizes one value; item sequences are returned item-wise.
+void AtomizedItems(const Value& v, const xml::Store& store,
+                   std::vector<Value>* out) {
+  switch (v.kind()) {
+    case ValueKind::kItemSeq:
+      for (const Value& item : v.AsItems()) {
+        out->push_back(item.Atomize(store));
+      }
+      return;
+    case ValueKind::kTupleSeq: {
+      // Single-attribute tuple sequences behave like item sequences.
+      for (const Tuple& t : v.AsTuples()) {
+        if (t.size() == 1) {
+          out->push_back(t.slots()[0].second.Atomize(store));
+        }
+      }
+      return;
+    }
+    default:
+      out->push_back(v.Atomize(store));
+  }
+}
+
+}  // namespace
+
+std::vector<Key> MakeKeys(const Tuple& tuple, std::span<const Symbol> attrs,
+                          const xml::Store& store) {
+  std::vector<Key> keys;
+  if (attrs.size() == 1) {
+    std::vector<Value> items;
+    AtomizedItems(tuple.Get(attrs[0]), store, &items);
+    keys.reserve(items.size());
+    for (Value& v : items) {
+      Key k;
+      k.values.push_back(std::move(v));
+      // Deduplicate: the same value occurring twice in one sequence must not
+      // yield the tuple twice in a bucket.
+      bool seen = false;
+      for (const Key& existing : keys) {
+        if (existing == k) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) keys.push_back(std::move(k));
+    }
+    return keys;
+  }
+  Key k;
+  k.values.reserve(attrs.size());
+  for (Symbol a : attrs) {
+    k.values.push_back(tuple.Get(a).Atomize(store));
+  }
+  keys.push_back(std::move(k));
+  return keys;
+}
+
+void HashIndex::Build(const Sequence& input, std::span<const Symbol> attrs,
+                      const xml::Store& store) {
+  map_.clear();
+  for (uint32_t i = 0; i < input.size(); ++i) {
+    for (Key& k : MakeKeys(input[i], attrs, store)) {
+      map_[std::move(k)].push_back(i);
+    }
+  }
+}
+
+std::vector<uint32_t> HashIndex::Lookup(const Tuple& probe,
+                                        std::span<const Symbol> attrs,
+                                        const xml::Store& store) const {
+  std::vector<uint32_t> out;
+  std::vector<Key> keys = MakeKeys(probe, attrs, store);
+  for (const Key& k : keys) {
+    auto it = map_.find(k);
+    if (it == map_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (keys.size() > 1) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+const std::vector<uint32_t>* HashIndex::LookupKey(const Key& k) const {
+  auto it = map_.find(k);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void FlattenConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out) {
+  if (pred->kind == ExprKind::kAnd) {
+    FlattenConjuncts(pred->children[0], out);
+    FlattenConjuncts(pred->children[1], out);
+  } else {
+    out->push_back(pred);
+  }
+}
+
+}  // namespace
+
+std::optional<EquiPredicate> ExtractEquiPredicate(const ExprPtr& pred,
+                                                  const SymbolSet& left,
+                                                  const SymbolSet& right) {
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  EquiPredicate out;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kCmp && c->cmp == CmpOp::kEq &&
+        c->children[0]->kind == ExprKind::kAttrRef &&
+        c->children[1]->kind == ExprKind::kAttrRef) {
+      Symbol a = c->children[0]->attr;
+      Symbol b = c->children[1]->attr;
+      if (left.count(a) != 0 && right.count(b) != 0) {
+        out.left_attrs.push_back(a);
+        out.right_attrs.push_back(b);
+        continue;
+      }
+      if (left.count(b) != 0 && right.count(a) != 0) {
+        out.left_attrs.push_back(b);
+        out.right_attrs.push_back(a);
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  if (out.left_attrs.empty()) return std::nullopt;
+  for (const ExprPtr& r : residual) {
+    out.residual = out.residual == nullptr ? r : MakeAnd(out.residual, r);
+  }
+  return out;
+}
+
+}  // namespace nalq::nal

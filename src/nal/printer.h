@@ -1,0 +1,22 @@
+// Pretty-printer for algebra plans, rendering the paper's notation in ASCII
+// (sigma/pi/chi/upsilon/mu/gamma/join symbols spelled out). Used by the
+// plan_explorer example and by test failure messages.
+#ifndef NALQ_NAL_PRINTER_H_
+#define NALQ_NAL_PRINTER_H_
+
+#include <string>
+
+#include "nal/algebra.h"
+
+namespace nalq::nal {
+
+/// One-line rendering of an operator (without children), e.g.
+/// "Map[t1 := min(Pi_c2(Select[t1 = t2](..)))]".
+std::string OpHeadline(const AlgebraOp& op);
+
+/// Multi-line indented tree rendering of a whole plan.
+std::string PrintPlan(const AlgebraOp& op);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_PRINTER_H_

@@ -1,0 +1,314 @@
+#include "nal/reference.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "nal/analysis.h"
+#include "nal/physical.h"
+
+namespace nalq::nal::reference {
+
+namespace {
+
+/// σ_p(e) := α(e) ⊕ σ_p(τ(e)) if p(α(e)), else σ_p(τ(e)).
+Sequence SelectRec(Evaluator& ev, const Expr& pred, const Sequence& e,
+                   const Tuple& env) {
+  if (e.empty()) return Sequence();
+  Sequence out;
+  if (ev.EvalPred(pred, e.First(), env)) out.Append(e.First());
+  out.Extend(SelectRec(ev, pred, e.Tail(), env));
+  return out;
+}
+
+/// e1 ×̂ e2 := ε if e2 = ε, else (e1 ∘ α(e2)) ⊕ (e1 ×̂ τ(e2))
+/// (e1 is a single tuple here, per the paper's definition).
+Sequence CrossHat(const Tuple& t, const Sequence& e2) {
+  if (e2.empty()) return Sequence();
+  Sequence out;
+  out.Append(t.Concat(e2.First()));
+  out.Extend(CrossHat(t, e2.Tail()));
+  return out;
+}
+
+/// e1 × e2 := (α(e1) ×̂ e2) ⊕ (τ(e1) × e2).
+Sequence CrossRec(const Sequence& e1, const Sequence& e2) {
+  if (e1.empty()) return Sequence();
+  Sequence out = CrossHat(e1.First(), e2);
+  out.Extend(CrossRec(e1.Tail(), e2));
+  return out;
+}
+
+bool ExistsMatch(Evaluator& ev, const Expr& pred, const Tuple& t,
+                 const Sequence& e2, const Tuple& env) {
+  for (const Tuple& x : e2) {
+    if (ev.EvalPred(pred, t.Concat(x), env)) return true;
+  }
+  return false;
+}
+
+/// Semijoin / antijoin by their head-tail definitions.
+Sequence SemiRec(Evaluator& ev, const Expr& pred, const Sequence& e1,
+                 const Sequence& e2, const Tuple& env, bool anti) {
+  if (e1.empty()) return Sequence();
+  Sequence out;
+  bool matched = ExistsMatch(ev, pred, e1.First(), e2, env);
+  if (matched != anti) out.Append(e1.First());
+  out.Extend(SemiRec(ev, pred, e1.Tail(), e2, env, anti));
+  return out;
+}
+
+/// Atomized whole-tuple key for the deterministic ΠD.
+Key TupleKey(Evaluator& ev, const Tuple& t) {
+  Key k;
+  for (const auto& [a, v] : t.slots()) {
+    k.values.push_back(v.Atomize(ev.store()));
+  }
+  return k;
+}
+
+/// ΠD with distinct-values semantics: atomized values, first occurrence,
+/// deterministic.
+Sequence DistinctProject(Evaluator& ev, const Sequence& e,
+                         const std::vector<Symbol>& attrs) {
+  Sequence out;
+  std::unordered_set<Key, KeyHash> seen;
+  for (const Tuple& t : e) {
+    Tuple projected = attrs.empty() ? t : t.Project(attrs);
+    Tuple atomized;
+    for (const auto& [a, v] : projected.slots()) {
+      atomized.Set(a, v.Atomize(ev.store()));
+    }
+    if (seen.insert(TupleKey(ev, atomized)).second) {
+      out.Append(std::move(atomized));
+    }
+  }
+  return out;
+}
+
+/// Binary Γ by its definition: per e1 tuple, G(x) = f(σ_{x|A1 θ A2}(e2)).
+Sequence GroupBinaryRec(Evaluator& ev, const AlgebraOp& op,
+                        const Sequence& e1, const Sequence& e2,
+                        const Tuple& env) {
+  if (e1.empty()) return Sequence();
+  const Tuple& t = e1.First();
+  Sequence group;
+  for (const Tuple& u : e2) {
+    // x|A1 θ A2 evaluated with general-comparison semantics like the
+    // production evaluator (single grouping attribute in the θ case;
+    // conjunction over the attribute lists for '=').
+    bool matches = true;
+    for (size_t i = 0; i < op.left_attrs.size(); ++i) {
+      if (!ev.GeneralCompare(op.theta, t.Get(op.left_attrs[i]),
+                             u.Get(op.right_attrs[i]))) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) group.Append(u);
+  }
+  Sequence out;
+  Tuple result = t;
+  result.Set(op.attr, ev.ApplyAgg(op.agg, group, env));
+  out.Append(std::move(result));
+  out.Extend(GroupBinaryRec(ev, op, e1.Tail(), e2, env));
+  return out;
+}
+
+/// μ_g by its definition, ⊥ convention included.
+Sequence UnnestRec(Evaluator& ev, const AlgebraOp& op, const Sequence& e,
+                   const std::vector<Symbol>& bot_attrs) {
+  if (e.empty()) return Sequence();
+  const Tuple& t = e.First();
+  std::vector<Symbol> drop = {op.attr};
+  Tuple base = t.Drop(drop);
+  Sequence nested;
+  const Value& v = t.Get(op.attr);
+  if (v.kind() == ValueKind::kTupleSeq) {
+    nested = v.AsTuples();
+  } else {
+    ItemSeq items;
+    FlattenToItems(v, &items);
+    nested = TuplesFromItems(op.attr, items);
+  }
+  if (op.distinct) nested = DistinctProject(ev, nested, {});
+  Sequence out;
+  if (nested.empty()) {
+    if (op.outer) out.Append(base.Concat(Tuple::Nulls(bot_attrs)));
+  } else {
+    out.Extend(CrossHat(base, nested));
+  }
+  out.Extend(UnnestRec(ev, op, e.Tail(), bot_attrs));
+  return out;
+}
+
+}  // namespace
+
+Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
+  switch (op.kind) {
+    case OpKind::kSingleton: {
+      Sequence out;
+      out.Append(Tuple());
+      return out;
+    }
+    case OpKind::kSelect:
+      return SelectRec(ev, *op.pred, Eval(ev, *op.child(0), env), env);
+    case OpKind::kProject: {
+      Sequence in = Eval(ev, *op.child(0), env);
+      Sequence renamed;
+      for (const Tuple& t : in) {
+        Tuple t2 = t;
+        for (const auto& [to, from] : op.renames) t2 = t2.Rename(from, to);
+        renamed.Append(std::move(t2));
+      }
+      switch (op.pmode) {
+        case ProjectMode::kKeep: {
+          if (op.attrs.empty()) return renamed;
+          Sequence out;
+          for (const Tuple& t : renamed) out.Append(t.Project(op.attrs));
+          return out;
+        }
+        case ProjectMode::kDrop: {
+          Sequence out;
+          for (const Tuple& t : renamed) out.Append(t.Drop(op.attrs));
+          return out;
+        }
+        case ProjectMode::kDistinct:
+          return DistinctProject(ev, renamed, op.attrs);
+      }
+      return renamed;
+    }
+    case OpKind::kMap: {
+      // χ_{a:e2}(e1) := α(e1) ∘ [a : e2(α(e1))] ⊕ χ_{a:e2}(τ(e1)).
+      Sequence in = Eval(ev, *op.child(0), env);
+      Sequence out;
+      for (const Tuple& t : in) {
+        Tuple extended = t;
+        extended.Set(op.attr, ev.EvalExpr(*op.expr, t, env));
+        out.Append(std::move(extended));
+      }
+      return out;
+    }
+    case OpKind::kUnnestMap: {
+      // Υ_{a:e2}(e1) := μ_g(χ_{g:e2[a]}(e1)) — evaluated literally through
+      // a synthesized χ and μ.
+      Symbol g = Symbol::Fresh("upsilon_g");
+      AlgebraPtr chi =
+          nal::Map(g, MakeBindTuples(op.expr->Clone(), op.attr),
+                   nal::Singleton());
+      Sequence in = Eval(ev, *op.child(0), env);
+      Sequence mapped;
+      for (const Tuple& t : in) {
+        Tuple extended = t;
+        extended.Set(g, ev.EvalExpr(*chi->expr, t, env));
+        mapped.Append(std::move(extended));
+      }
+      AlgebraOp mu;
+      mu.kind = OpKind::kUnnest;
+      mu.attr = g;
+      mu.outer = op.outer;
+      return UnnestRec(ev, mu, mapped, {op.attr});
+    }
+    case OpKind::kUnnest: {
+      std::vector<Symbol> bot_attrs;
+      AttrInfo info = OutputAttrs(*op.child(0));
+      auto it = info.nested.find(op.attr);
+      if (it != info.nested.end()) {
+        bot_attrs.assign(it->second.begin(), it->second.end());
+      }
+      return UnnestRec(ev, op, Eval(ev, *op.child(0), env), bot_attrs);
+    }
+    case OpKind::kCross:
+      return CrossRec(Eval(ev, *op.child(0), env),
+                      Eval(ev, *op.child(1), env));
+    case OpKind::kJoin:
+      // e1 ⋈_p e2 := σ_p(e1 × e2).
+      return SelectRec(ev, *op.pred,
+                       CrossRec(Eval(ev, *op.child(0), env),
+                                Eval(ev, *op.child(1), env)),
+                       env);
+    case OpKind::kSemiJoin:
+      return SemiRec(ev, *op.pred, Eval(ev, *op.child(0), env),
+                     Eval(ev, *op.child(1), env), env, /*anti=*/false);
+    case OpKind::kAntiJoin:
+      return SemiRec(ev, *op.pred, Eval(ev, *op.child(0), env),
+                     Eval(ev, *op.child(1), env), env, /*anti=*/true);
+    case OpKind::kOuterJoin: {
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      std::vector<Symbol> null_attrs;
+      AttrInfo info = OutputAttrs(*op.child(1));
+      for (Symbol a : info.attrs) {
+        if (a != op.attr) null_attrs.push_back(a);
+      }
+      Value dflt = op.expr != nullptr ? ev.EvalExpr(*op.expr, Tuple(), env)
+                                      : Value::Null();
+      Sequence out;
+      for (const Tuple& t : e1) {
+        // (α(e1) ⋈_p e2) or the ⊥/default row.
+        Sequence matches;
+        for (const Tuple& u : e2) {
+          Tuple combined = t.Concat(u);
+          if (ev.EvalPred(*op.pred, combined, env)) {
+            matches.Append(std::move(combined));
+          }
+        }
+        if (matches.empty()) {
+          Tuple row = t.Concat(Tuple::Nulls(null_attrs));
+          row.Set(op.attr, dflt);
+          out.Append(std::move(row));
+        } else {
+          out.Extend(matches);
+        }
+      }
+      return out;
+    }
+    case OpKind::kGroupUnary: {
+      // Γ_{g;θA;f}(e) := Π_{A:A'}(ΠD_{A':A}(Π_A(e)) Γ_{g;A'θA;f} e).
+      Sequence e = Eval(ev, *op.child(0), env);
+      Sequence distinct = DistinctProject(ev, e, op.left_attrs);
+      // Rename A → A' on the distinct side.
+      std::vector<Symbol> primed;
+      Sequence left;
+      for (Symbol a : op.left_attrs) {
+        primed.push_back(Symbol(std::string(a.str()) + "@ref'"));
+      }
+      for (const Tuple& t : distinct) {
+        Tuple renamed;
+        for (size_t i = 0; i < op.left_attrs.size(); ++i) {
+          renamed.Set(primed[i], t.Get(op.left_attrs[i]));
+        }
+        left.Append(std::move(renamed));
+      }
+      AlgebraOp binary;
+      binary.kind = OpKind::kGroupBinary;
+      binary.attr = op.attr;
+      binary.theta = op.theta;
+      binary.left_attrs = primed;
+      binary.right_attrs = op.left_attrs;
+      binary.agg = op.agg.CloneSpec();
+      Sequence grouped = GroupBinaryRec(ev, binary, left, e, env);
+      // Π_{A:A'}: rename back.
+      Sequence out;
+      for (const Tuple& t : grouped) {
+        Tuple renamed;
+        for (size_t i = 0; i < op.left_attrs.size(); ++i) {
+          renamed.Set(op.left_attrs[i], t.Get(primed[i]));
+        }
+        renamed.Set(op.attr, t.Get(op.attr));
+        out.Append(std::move(renamed));
+      }
+      return out;
+    }
+    case OpKind::kGroupBinary:
+      return GroupBinaryRec(ev, op, Eval(ev, *op.child(0), env),
+                            Eval(ev, *op.child(1), env), env);
+    case OpKind::kSort:
+    case OpKind::kXiSimple:
+    case OpKind::kXiGroup:
+      throw std::logic_error(
+          "reference evaluator covers the Sec. 2 core operators only");
+  }
+  return Sequence();
+}
+
+}  // namespace nalq::nal::reference

@@ -1,0 +1,35 @@
+#include "nal/sequence.h"
+
+namespace nalq::nal {
+
+bool SequencesEqual(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+std::string DebugStringOf(const Sequence& s) {
+  std::string out = "<";
+  bool first = true;
+  for (const Tuple& t : s) {
+    if (!first) out += ", ";
+    out += t.DebugString();
+    first = false;
+  }
+  return out + ">";
+}
+
+Sequence TuplesFromItems(Symbol a, const ItemSeq& items) {
+  Sequence out;
+  out.Reserve(items.size());
+  for (const Value& v : items) {
+    Tuple t;
+    t.Set(a, v);
+    out.Append(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace nalq::nal

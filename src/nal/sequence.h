@@ -1,0 +1,62 @@
+// Ordered sequences of tuples — the carrier of every NAL operator.
+#ifndef NALQ_NAL_SEQUENCE_H_
+#define NALQ_NAL_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "nal/tuple.h"
+
+namespace nalq::nal {
+
+/// A thin, ordered container of tuples with the paper's sequence vocabulary
+/// (α = First, τ = Tail, ⊕ = Append/Extend, ε = empty).
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+
+  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size(); }
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+  Tuple& operator[](size_t i) { return tuples_[i]; }
+
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+  auto begin() { return tuples_.begin(); }
+  auto end() { return tuples_.end(); }
+
+  /// The paper's α(e): first element. Precondition: !empty().
+  const Tuple& First() const { return tuples_.front(); }
+  /// The paper's τ(e): everything but the first element (copies).
+  Sequence Tail() const {
+    return Sequence(std::vector<Tuple>(tuples_.begin() + 1, tuples_.end()));
+  }
+
+  void Append(Tuple t) { tuples_.push_back(std::move(t)); }
+  void Extend(const Sequence& other) {
+    tuples_.insert(tuples_.end(), other.tuples_.begin(), other.tuples_.end());
+  }
+  void Reserve(size_t n) { tuples_.reserve(n); }
+  void Clear() { tuples_.clear(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& tuples() { return tuples_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+/// Order-sensitive structural equality (the property every equivalence in
+/// the paper preserves).
+bool SequencesEqual(const Sequence& a, const Sequence& b);
+
+std::string DebugStringOf(const Sequence& s);
+
+/// Builds the paper's e[a] from a sequence of non-tuple values: one tuple
+/// per item, attribute `a` bound to the item.
+Sequence TuplesFromItems(Symbol a, const ItemSeq& items);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_SEQUENCE_H_

@@ -1,0 +1,50 @@
+#include "nal/symbol.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "xml/arena.h"
+
+namespace nalq::nal {
+
+namespace {
+
+/// Process-wide interner guarded by a mutex. Query compilation and the
+/// benchmarks are single-threaded, so contention is not a concern; the lock
+/// keeps multi-threaded test runners safe.
+struct GlobalTable {
+  std::mutex mu;
+  xml::StringInterner interner;
+};
+
+GlobalTable& Table() {
+  static GlobalTable* table = new GlobalTable();
+  return *table;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view name) {
+  if (name.empty()) {
+    id_ = 0;
+    return;
+  }
+  GlobalTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  id_ = table.interner.Intern(name);
+}
+
+std::string_view Symbol::str() const {
+  GlobalTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.interner.Get(id_);
+}
+
+Symbol Symbol::Fresh(std::string_view base) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::string name = std::string(base) + "#" + std::to_string(n);
+  return Symbol(name);
+}
+
+}  // namespace nalq::nal

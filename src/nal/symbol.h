@@ -1,0 +1,47 @@
+// Process-wide interned identifiers for attribute and variable names.
+//
+// NAL works on sequences of unordered tuples whose attributes correspond to
+// XQuery variables (paper Sec. 2). Interning makes attribute lookup, tuple
+// concatenation and the A(e)/F(e) analyses cheap set operations over ids.
+#ifndef NALQ_NAL_SYMBOL_H_
+#define NALQ_NAL_SYMBOL_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nalq::nal {
+
+/// A cheap, copyable handle to an interned name. Symbol{} (id 0) is the
+/// empty symbol.
+class Symbol {
+ public:
+  Symbol() = default;
+  /// Interns `name` in the process-wide table.
+  explicit Symbol(std::string_view name);
+
+  uint32_t id() const { return id_; }
+  bool empty() const { return id_ == 0; }
+  std::string_view str() const;
+
+  friend bool operator==(Symbol, Symbol) = default;
+  friend std::strong_ordering operator<=>(Symbol a, Symbol b) {
+    return a.id_ <=> b.id_;
+  }
+
+  /// Generates a fresh symbol `<base>#<n>` not handed out before; used for
+  /// the new attributes (g, a2', ...) the equivalences introduce.
+  static Symbol Fresh(std::string_view base);
+
+ private:
+  uint32_t id_ = 0;
+};
+
+struct SymbolHash {
+  size_t operator()(Symbol s) const noexcept { return s.id(); }
+};
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_SYMBOL_H_

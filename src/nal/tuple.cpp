@@ -1,0 +1,118 @@
+#include "nal/tuple.h"
+
+#include <algorithm>
+
+namespace nalq::nal {
+
+namespace {
+const Value kNull;
+}  // namespace
+
+Tuple::Tuple(std::initializer_list<std::pair<Symbol, Value>> bindings) {
+  for (const auto& [a, v] : bindings) Set(a, v);
+}
+
+bool Tuple::Has(Symbol a) const {
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), a,
+      [](const auto& slot, Symbol s) { return slot.first < s; });
+  return it != slots_.end() && it->first == a;
+}
+
+const Value& Tuple::Get(Symbol a) const {
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), a,
+      [](const auto& slot, Symbol s) { return slot.first < s; });
+  if (it != slots_.end() && it->first == a) return it->second;
+  return kNull;
+}
+
+void Tuple::Set(Symbol a, Value v) {
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), a,
+      [](const auto& slot, Symbol s) { return slot.first < s; });
+  if (it != slots_.end() && it->first == a) {
+    it->second = std::move(v);
+  } else {
+    slots_.insert(it, {a, std::move(v)});
+  }
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  Tuple out = *this;
+  for (const auto& [a, v] : other.slots_) out.Set(a, v);
+  return out;
+}
+
+Tuple Tuple::Project(std::span<const Symbol> attrs) const {
+  Tuple out;
+  for (Symbol a : attrs) {
+    if (Has(a)) out.Set(a, Get(a));
+  }
+  return out;
+}
+
+Tuple Tuple::Drop(std::span<const Symbol> attrs) const {
+  Tuple out;
+  for (const auto& [a, v] : slots_) {
+    if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+      out.Set(a, v);
+    }
+  }
+  return out;
+}
+
+Tuple Tuple::Rename(Symbol from, Symbol to) const {
+  if (from == to || !Has(from)) return *this;
+  Tuple out;
+  for (const auto& [a, v] : slots_) {
+    out.Set(a == from ? to : a, v);
+  }
+  return out;
+}
+
+Tuple Tuple::Nulls(std::span<const Symbol> attrs) {
+  Tuple out;
+  for (Symbol a : attrs) out.Set(a, Value::Null());
+  return out;
+}
+
+std::vector<Symbol> Tuple::Attributes() const {
+  std::vector<Symbol> out;
+  out.reserve(slots_.size());
+  for (const auto& [a, v] : slots_) out.push_back(a);
+  return out;
+}
+
+bool Tuple::Equals(const Tuple& other) const {
+  if (slots_.size() != other.slots_.size()) return false;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].first != other.slots_[i].first) return false;
+    if (!slots_[i].second.Equals(other.slots_[i].second)) return false;
+  }
+  return true;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x811c9dc5;
+  for (const auto& [a, v] : slots_) {
+    h = h * 16777619 + a.id();
+    h = h * 16777619 + v.Hash();
+  }
+  return h;
+}
+
+std::string Tuple::DebugString() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [a, v] : slots_) {
+    if (!first) out += ", ";
+    out += std::string(a.str());
+    out += ": ";
+    out += v.DebugString();
+    first = false;
+  }
+  return out + "]";
+}
+
+}  // namespace nalq::nal

@@ -1,0 +1,80 @@
+// Unordered tuples of attribute/value bindings (paper Sec. 2).
+//
+// Attributes are kept sorted by Symbol id, making the tuple a canonical
+// small map: lookup is a binary search, concatenation (the paper's ◦) a
+// merge, and equality/hash independent of construction order — matching the
+// paper's "sequences of *unordered* tuples".
+#ifndef NALQ_NAL_TUPLE_H_
+#define NALQ_NAL_TUPLE_H_
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nal/symbol.h"
+#include "nal/value.h"
+
+namespace nalq::nal {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<std::pair<Symbol, Value>> bindings);
+
+  size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+
+  /// True iff attribute `a` is bound (possibly to NULL).
+  bool Has(Symbol a) const;
+  /// Value of `a`; NULL if unbound.
+  const Value& Get(Symbol a) const;
+  /// Binds `a` (replacing any existing binding).
+  void Set(Symbol a, Value v);
+
+  /// The paper's ◦ (tuple concatenation). Attributes of `other` must be
+  /// disjoint from ours; in case of a collision `other` wins (documented
+  /// behaviour used by renaming).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Projection onto `attrs` (the paper's |A). Missing attributes are
+  /// skipped.
+  Tuple Project(std::span<const Symbol> attrs) const;
+
+  /// Drops `attrs` (the paper's Π with an overline).
+  Tuple Drop(std::span<const Symbol> attrs) const;
+
+  /// Renames attribute `from` to `to` (other attributes untouched).
+  Tuple Rename(Symbol from, Symbol to) const;
+
+  /// The paper's ⊥_A: a tuple with every attribute of `attrs` bound to NULL.
+  static Tuple Nulls(std::span<const Symbol> attrs);
+
+  /// All bound attribute names, ascending by symbol id.
+  std::vector<Symbol> Attributes() const;
+
+  const std::vector<std::pair<Symbol, Value>>& slots() const { return slots_; }
+
+  /// Structural equality over Value::Equals.
+  bool Equals(const Tuple& other) const;
+  size_t Hash() const;
+
+  std::string DebugString() const;
+
+ private:
+  // Sorted by Symbol id.
+  std::vector<std::pair<Symbol, Value>> slots_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const noexcept { return t.Hash(); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const noexcept {
+    return a.Equals(b);
+  }
+};
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_TUPLE_H_

@@ -1,0 +1,151 @@
+// The NAL value domain.
+//
+// Attribute values are atomic values (null, boolean, integer, double,
+// string), node handles pointing into stored documents (the paper restricts
+// tree-valued attributes "to node handles pointing to nodes in trees stored
+// in the database", Sec. 1), sequences of items (XPath results, let-bound
+// item sequences) or nested sequences of tuples (group attributes created by
+// Γ and χ).
+#ifndef NALQ_NAL_VALUE_H_
+#define NALQ_NAL_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace nalq::xml {
+class Store;
+}  // namespace nalq::xml
+
+namespace nalq::nal {
+
+class Sequence;  // sequence of tuples (sequence.h)
+class Value;
+
+/// Sequence of items — the XQuery data model's flat item sequence, used for
+/// XPath results and let-bound values before tuple construction (e[a]).
+using ItemSeq = std::vector<Value>;
+
+enum class ValueKind : uint8_t {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kNode,
+  kItemSeq,
+  kTupleSeq,
+};
+
+/// Immutable, cheaply copyable value (strings and sequences are shared).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s)
+      : rep_(std::make_shared<const std::string>(std::move(s))) {}
+  explicit Value(std::string_view s)
+      : rep_(std::make_shared<const std::string>(s)) {}
+  explicit Value(const char* s)
+      : rep_(std::make_shared<const std::string>(s)) {}
+  explicit Value(xml::NodeRef n) : rep_(n) {}
+  explicit Value(std::shared_ptr<const ItemSeq> items)
+      : rep_(std::move(items)) {}
+  explicit Value(std::shared_ptr<const Sequence> tuples)
+      : rep_(std::move(tuples)) {}
+
+  static Value Null() { return Value(); }
+  static Value FromItems(ItemSeq items);
+  static Value FromTuples(Sequence tuples);
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_numeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+  bool is_sequence() const {
+    return kind() == ValueKind::kItemSeq || kind() == ValueKind::kTupleSeq;
+  }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const {
+    return *std::get<std::shared_ptr<const std::string>>(rep_);
+  }
+  xml::NodeRef AsNode() const { return std::get<xml::NodeRef>(rep_); }
+  const ItemSeq& AsItems() const {
+    return *std::get<std::shared_ptr<const ItemSeq>>(rep_);
+  }
+  const Sequence& AsTuples() const {
+    return *std::get<std::shared_ptr<const Sequence>>(rep_);
+  }
+  std::shared_ptr<const Sequence> SharedTuples() const {
+    return std::get<std::shared_ptr<const Sequence>>(rep_);
+  }
+  std::shared_ptr<const ItemSeq> SharedItems() const {
+    return std::get<std::shared_ptr<const ItemSeq>>(rep_);
+  }
+
+  /// Number of items when viewed as a sequence; atomic values and nodes count
+  /// as singletons, null as the empty sequence.
+  size_t SequenceLength() const;
+
+  /// Atomization: nodes become their string value, everything atomic stays.
+  /// Sequences atomize item-wise (returned via out-param overload in expr).
+  Value Atomize(const xml::Store& store) const;
+
+  /// String conversion (atomizing nodes through `store`).
+  std::string ToString(const xml::Store& store) const;
+
+  /// Numeric conversion; nullopt if not convertible.
+  std::optional<double> ToNumber(const xml::Store& store) const;
+
+  /// Deep structural equality for *atomized* values (null==null). Used for
+  /// grouping keys and result comparison; numeric values compare across
+  /// int/double.
+  bool Equals(const Value& other) const;
+
+  /// Hash consistent with Equals for atomic values.
+  size_t Hash() const;
+
+  /// Total order over atomic values for deterministic output: nulls first,
+  /// then bools, numbers, strings, nodes. Sequences compare by length then
+  /// element-wise (only meaningful in tests).
+  static std::strong_ordering Compare(const Value& a, const Value& b);
+
+  /// Debug rendering without a store (nodes print as doc:id).
+  std::string DebugString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double,
+               std::shared_ptr<const std::string>, xml::NodeRef,
+               std::shared_ptr<const ItemSeq>,
+               std::shared_ptr<const Sequence>>
+      rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const noexcept { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const noexcept {
+    return a.Equals(b);
+  }
+};
+
+/// Parses a string as a number if it looks like one (used when comparing
+/// untyped XML text against numeric literals, e.g. @year > 1993).
+std::optional<double> TryParseNumber(std::string_view s);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_VALUE_H_

@@ -1,0 +1,68 @@
+#include "rewrite/conditions.h"
+
+namespace nalq::rewrite {
+
+bool ConditionChecker::FreeOfOuter(const nal::AlgebraOp& e2,
+                                   const nal::AlgebraOp& e1) {
+  nal::SymbolSet free = nal::FreeVars(e2);
+  nal::SymbolSet outer = nal::OutputAttrs(e1).attrs;
+  return nal::Disjoint(free, outer);
+}
+
+bool ConditionChecker::DistinctSourceMatches(const nal::AlgebraOp& e1,
+                                             nal::Symbol a1,
+                                             const nal::AlgebraOp& e2,
+                                             nal::Symbol a2,
+                                             bool require_distinct_e1) const {
+  if (dtds_ == nullptr) return false;
+  ProvenanceMap p1 = DeriveProvenance(e1);
+  ProvenanceMap p2 = DeriveProvenance(e2);
+  auto it1 = p1.find(a1);
+  auto it2 = p2.find(a2);
+  if (it1 == p1.end() || it2 == p2.end()) return false;
+  const AttrProvenance& prov1 = it1->second;
+  const AttrProvenance& prov2 = it2->second;
+  if (!prov1.known || !prov2.known) return false;
+  if (require_distinct_e1 && !prov1.distinct) return false;
+  if (!prov1.complete || !prov2.complete) return false;
+  if (prov1.doc != prov2.doc) return false;
+  if (prov2.is_nested) return false;  // nested case handled separately
+  const xml::Dtd* dtd = dtds_->Find(prov1.doc);
+  if (dtd == nullptr) return false;
+  return dtd->PathsSelectSameNodes(prov1.path, prov2.path);
+}
+
+bool ConditionChecker::DistinctSourceMatchesNested(const nal::AlgebraOp& e1,
+                                                   nal::Symbol a1,
+                                                   const nal::AlgebraOp& e2,
+                                                   nal::Symbol a2) const {
+  if (dtds_ == nullptr) return false;
+  ProvenanceMap p1 = DeriveProvenance(e1);
+  ProvenanceMap p2 = DeriveProvenance(e2);
+  auto it1 = p1.find(a1);
+  auto it2 = p2.find(a2);
+  if (it1 == p1.end() || it2 == p2.end()) return false;
+  const AttrProvenance& prov1 = it1->second;
+  const AttrProvenance& prov2 = it2->second;
+  if (!prov1.known || !prov2.known) return false;
+  if (!prov1.distinct) return false;
+  if (!prov1.complete || !prov2.complete) return false;
+  if (prov1.doc != prov2.doc) return false;
+  if (!prov2.is_nested) return false;
+  const xml::Dtd* dtd = dtds_->Find(prov1.doc);
+  if (dtd == nullptr) return false;
+  return dtd->PathsSelectSameNodes(prov1.path, prov2.path);
+}
+
+bool ConditionChecker::IsDuplicateFree(const nal::AlgebraOp& e1,
+                                       nal::Symbol a1) const {
+  ProvenanceMap p1 = DeriveProvenance(e1);
+  auto it = p1.find(a1);
+  if (it == p1.end() || !it->second.known) return false;
+  // distinct-values output is duplicate-free by definition; a complete
+  // node-path scan yields unique nodes but possibly duplicate *values*, so
+  // only the distinct flag qualifies here.
+  return it->second.distinct;
+}
+
+}  // namespace nalq::rewrite

@@ -1,0 +1,56 @@
+// Side-condition verification for the unnesting equivalences (paper Sec. 4).
+//
+// "Too often, incorrect unnesting procedures have appeared" — the paper's
+// central criticism of prior work is missing side conditions (the condition
+// e1 = ΠD_{A1:A2}(Π_{A2}(e2)) that escaped the authors of [31]). This module
+// makes every condition an explicit, testable check.
+#ifndef NALQ_REWRITE_CONDITIONS_H_
+#define NALQ_REWRITE_CONDITIONS_H_
+
+#include "nal/analysis.h"
+#include "rewrite/provenance.h"
+#include "xml/dtd.h"
+
+namespace nalq::rewrite {
+
+class ConditionChecker {
+ public:
+  /// `dtds` may be null; then every DTD-dependent condition fails (the
+  /// conservative outcome: fewer rewrites, never a wrong one).
+  explicit ConditionChecker(const xml::DtdRegistry* dtds) : dtds_(dtds) {}
+
+  /// F(e2) ∩ A(e1) = ∅ — the inner expression must not reference the outer
+  /// one once the correlation predicate has been removed.
+  static bool FreeOfOuter(const nal::AlgebraOp& e2, const nal::AlgebraOp& e1);
+
+  /// The paper's e1 = ΠD_{A1:A2}(Π_{A2}(e2)) check (Eqv. 3, and Eqv. 8/9's
+  /// ΠD(e1) = ΠD_{A1:A2}(Π_{A2}(e2)) with `require_distinct_e1` = false):
+  /// e1's attribute `a1` must hold the distinct atomized values of some
+  /// absolute path P1, e2's attribute `a2` must enumerate all nodes of a
+  /// path P2 in document order, and the DTD must prove both paths select
+  /// the same node set.
+  bool DistinctSourceMatches(const nal::AlgebraOp& e1, nal::Symbol a1,
+                             const nal::AlgebraOp& e2, nal::Symbol a2,
+                             bool require_distinct_e1 = true) const;
+
+  /// Same for the nested case of Eqv. 5: `a2` is an e[a'] attribute of e2
+  /// and the comparison is against its *items*
+  /// (e1 = ΠD_{A1:A2}(Π_{A2}(μ_{a2}(e2)))).
+  bool DistinctSourceMatchesNested(const nal::AlgebraOp& e1, nal::Symbol a1,
+                                   const nal::AlgebraOp& e2,
+                                   nal::Symbol a2) const;
+
+  /// Eqv. 8/9 prerequisite ΠD(e1) = e1: `a1` is duplicate-free by
+  /// construction (distinct-values output, or a complete node-path scan
+  /// whose nodes are unique).
+  bool IsDuplicateFree(const nal::AlgebraOp& e1, nal::Symbol a1) const;
+
+  const xml::DtdRegistry* dtds() const { return dtds_; }
+
+ private:
+  const xml::DtdRegistry* dtds_;
+};
+
+}  // namespace nalq::rewrite
+
+#endif  // NALQ_REWRITE_CONDITIONS_H_

@@ -1,0 +1,62 @@
+// The unnesting equivalences of paper Fig. 4 as checked plan rewrites.
+//
+//  Eqv. 1  χ_{g:f(σ_{A1θA2}(e2))}(e1)        = e1 Γ_{g;A1θA2;f} e2
+//  Eqv. 2  χ_{g:f(σ_{A1=A2}(e2))}(e1)        = Π̄_{A2}(e1 ⟕^{g:f()}_{A1=A2}
+//                                               Γ_{g;=A2;f}(e2))
+//  Eqv. 3  χ_{g:f(σ_{A1θA2}(e2))}(e1)        = Π_{A1:A2}(Γ_{g;θA2;f}(e2))
+//                                               if e1 = ΠD_{A1:A2}(Π_{A2}(e2))
+//  Eqv. 4  χ_{g:f(σ_{A1∈a2}(e2))}(e1)        = Π̄_{A2}(e1 ⟕^{g:f()}_{A1=A2}
+//                                               Γ_{g;=A2;f}(μD_{a2}(e2)))
+//  Eqv. 5  χ_{g:f(σ_{A1∈a2}(e2))}(e1)        = Π_{A1:A2}(Γ_{g;=A2;f}(μD_{a2}(e2)))
+//                                               if e1 = ΠD_{A1:A2}(Π_{A2}(μ_{a2}(e2)))
+//  Eqv. 6  σ_{∃x∈(Π_{x'}(σ_{A1=A2}(e2))) p}(e1) = e1 ⋉_{A1=A2 ∧ p'} e2
+//  Eqv. 7  σ_{∀x∈(Π_{x'}(σ_{A1=A2}(e2))) p}(e1) = e1 ▷_{A1=A2 ∧ ¬p'} e2
+//  Eqv. 8  ΠD(e1) ⋉_{A1=A2} σp(e2)           = σ_{c>0}(Π_{A1:A2}(Γ_{c;=A2;count∘σp}(e2)))
+//  Eqv. 9  ΠD(e1) ▷_{A1=A2} σp(e2)           = σ_{c=0}(…)
+//
+// plus the group-detecting Ξ introduction of Sec. 2/5.1. Every rewrite
+// verifies its side conditions via ConditionChecker before firing.
+#ifndef NALQ_REWRITE_EQUIVALENCES_H_
+#define NALQ_REWRITE_EQUIVALENCES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rewrite/conditions.h"
+
+namespace nalq::rewrite {
+
+/// One rewritten plan with the rule(s) that produced it.
+struct Alternative {
+  std::string rule;  ///< e.g. "eqv3-grouping", "eqv6-semijoin"
+  nal::AlgebraPtr plan;
+};
+
+/// Tries the χ-unnesting equivalences (1–5) on a Map node. `required_above`
+/// is the set of attributes referenced by the node's ancestors; rewrites
+/// that no longer provide them are discarded (the paper's "project unneeded
+/// attributes away" step in reverse). Returns every applicable alternative,
+/// most specific rules first.
+std::vector<Alternative> UnnestMapNode(const nal::AlgebraOp& map_op,
+                                       const nal::SymbolSet& required_above,
+                                       const ConditionChecker& checker);
+
+/// Tries Eqv. 6/7 on a Select node whose predicate is a quantifier.
+std::vector<Alternative> UnnestQuantNode(const nal::AlgebraOp& select_op,
+                                         const nal::SymbolSet& required_above,
+                                         const ConditionChecker& checker);
+
+/// Tries Eqv. 8/9 on a semi/antijoin node (rewriting it into a counting Γ,
+/// saving one document scan).
+std::optional<Alternative> CountingRewrite(const nal::AlgebraOp& join_op,
+                                           const nal::SymbolSet& required_above,
+                                           const ConditionChecker& checker);
+
+/// Introduces the group-detecting Ξ (Sec. 5.1 "group Ξ" plan):
+///   Ξ_{s}(Π_{A1:A2}(Γ_{g;=A2;Π_t}(X)))  →  s1 Ξ^{s3}_{A2;t}(X).
+std::optional<Alternative> GroupXiRewrite(const nal::AlgebraOp& xi_op);
+
+}  // namespace nalq::rewrite
+
+#endif  // NALQ_REWRITE_EQUIVALENCES_H_

@@ -1,0 +1,174 @@
+#include "rewrite/provenance.h"
+
+namespace nalq::rewrite {
+
+namespace {
+
+using nal::AlgebraOp;
+using nal::Expr;
+using nal::ExprKind;
+using nal::OpKind;
+using nal::Symbol;
+
+/// Provenance of a scalar expression given the provenance of the attributes
+/// it references.
+AttrProvenance ExprProvenance(const Expr& e, const ProvenanceMap& env) {
+  AttrProvenance out;
+  switch (e.kind) {
+    case ExprKind::kAttrRef: {
+      auto it = env.find(e.attr);
+      if (it != env.end()) return it->second;
+      return out;
+    }
+    case ExprKind::kFnCall: {
+      if ((e.fn == "doc" || e.fn == "document") && e.children.size() == 1 &&
+          e.children[0]->kind == ExprKind::kConst &&
+          e.children[0]->literal.kind() == nal::ValueKind::kString) {
+        out.known = true;
+        out.doc = e.children[0]->literal.AsString();
+        out.path = xml::Path(true, {});
+        return out;
+      }
+      if (e.fn == "distinct-values" && e.children.size() == 1) {
+        AttrProvenance inner = ExprProvenance(*e.children[0], env);
+        if (inner.known) {
+          inner.distinct = true;
+          return inner;
+        }
+      }
+      return out;
+    }
+    case ExprKind::kPath: {
+      AttrProvenance base = ExprProvenance(*e.children[0], env);
+      if (!base.known) return out;
+      out = base;
+      out.distinct = false;
+      out.path = base.path.Concat(e.path);
+      return out;
+    }
+    case ExprKind::kBindTuples: {
+      AttrProvenance inner = ExprProvenance(*e.children[0], env);
+      if (!inner.known) return out;
+      out = inner;
+      out.is_nested = true;
+      out.nested_item = e.attr;
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+void MarkAllIncomplete(ProvenanceMap* map) {
+  for (auto& [attr, prov] : *map) prov.complete = false;
+}
+
+}  // namespace
+
+ProvenanceMap DeriveProvenance(const nal::AlgebraOp& op) {
+  switch (op.kind) {
+    case OpKind::kSingleton:
+      return {};
+    case OpKind::kMap:
+    case OpKind::kUnnestMap: {
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      AttrProvenance prov = ExprProvenance(*op.expr, map);
+      // χ/Υ keep the child's completeness; the new attribute enumerates all
+      // path results per input tuple. If the input enumerated its own source
+      // completely, the composition is complete too — captured by the
+      // base provenance's `complete` flag already folded in.
+      map[op.attr] = prov;
+      return map;
+    }
+    case OpKind::kSelect: {
+      // A filter breaks completeness (values may be missing afterwards).
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      MarkAllIncomplete(&map);
+      return map;
+    }
+    case OpKind::kProject: {
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      ProvenanceMap out;
+      // Renames first.
+      for (const auto& [to, from] : op.renames) {
+        auto it = map.find(from);
+        if (it != map.end()) {
+          map[to] = it->second;
+          map.erase(from);
+        }
+      }
+      if (op.pmode == nal::ProjectMode::kDrop) {
+        for (Symbol a : op.attrs) map.erase(a);
+        return map;
+      }
+      if (!op.attrs.empty()) {
+        for (Symbol a : op.attrs) {
+          auto it = map.find(a);
+          if (it != map.end()) out[a] = it->second;
+        }
+      } else {
+        out = std::move(map);
+      }
+      if (op.pmode == nal::ProjectMode::kDistinct && op.attrs.size() == 1) {
+        auto it = out.find(op.attrs[0]);
+        if (it != out.end()) it->second.distinct = true;
+      }
+      return out;
+    }
+    case OpKind::kUnnest: {
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      auto it = map.find(op.attr);
+      if (it != map.end() && it->second.is_nested) {
+        AttrProvenance item = it->second;
+        Symbol inner = item.nested_item;
+        item.is_nested = false;
+        item.nested_item = Symbol();
+        map.erase(op.attr);
+        map[inner] = item;
+      } else {
+        map.erase(op.attr);
+      }
+      return map;
+    }
+    case OpKind::kCross:
+    case OpKind::kJoin:
+    case OpKind::kOuterJoin: {
+      ProvenanceMap left = DeriveProvenance(*op.child(0));
+      ProvenanceMap right = DeriveProvenance(*op.child(1));
+      left.insert(right.begin(), right.end());
+      if (op.kind != OpKind::kCross) MarkAllIncomplete(&left);
+      return left;
+    }
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin: {
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      MarkAllIncomplete(&map);
+      return map;
+    }
+    case OpKind::kGroupUnary: {
+      ProvenanceMap map = DeriveProvenance(*op.child(0));
+      ProvenanceMap out;
+      for (Symbol a : op.left_attrs) {
+        auto it = map.find(a);
+        if (it != map.end()) {
+          AttrProvenance prov = it->second;
+          prov.distinct = true;  // unary Γ dedups its grouping attributes
+          out[a] = prov;
+        }
+      }
+      return out;
+    }
+    case OpKind::kGroupBinary: {
+      // Left side passes through unchanged.
+      return DeriveProvenance(*op.child(0));
+    }
+    case OpKind::kSort:
+    case OpKind::kXiSimple:
+      return DeriveProvenance(*op.child(0));
+    case OpKind::kXiGroup:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace nalq::rewrite

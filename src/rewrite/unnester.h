@@ -1,0 +1,55 @@
+// Orchestrates the unnesting rewrites over whole plans: locates χ-subscript
+// and quantifier sites, fires the applicable equivalences ("whenever there
+// are alternative applications, the most efficient plan should be chosen —
+// this plan typically results from the equivalences with the most
+// restrictive conditions attached", Sec. 4), chains the scan-saving Eqv. 8/9
+// rewrites and the group-detecting Ξ introduction, and can enumerate every
+// alternative for the benchmarks.
+#ifndef NALQ_REWRITE_UNNESTER_H_
+#define NALQ_REWRITE_UNNESTER_H_
+
+#include <string>
+#include <vector>
+
+#include "rewrite/equivalences.h"
+
+namespace nalq::rewrite {
+
+class Unnester {
+ public:
+  explicit Unnester(const xml::DtdRegistry* dtds) : checker_(dtds) {}
+
+  /// All alternative plans for `plan`, the original ("nested") first.
+  /// Derived alternatives (counting/group-Ξ) carry chained rule names like
+  /// "eqv7-antijoin+eqv9-counting".
+  std::vector<Alternative> Alternatives(const nal::AlgebraPtr& plan);
+
+  /// The preferred plan under the paper's policy (most restrictive
+  /// applicable equivalence). Iterates until no site remains, so queries
+  /// with several nested blocks get every block unnested; the rule name
+  /// chains the applied equivalences. Falls back to the original plan.
+  Alternative Best(const nal::AlgebraPtr& plan);
+
+  /// Splits conjunctive selections σ_{p∧q} into σ_p(σ_q) so quantifier
+  /// conjuncts become rewrite sites. Pure function, exposed for tests.
+  static nal::AlgebraPtr SplitSelects(const nal::AlgebraPtr& plan);
+
+ private:
+  std::vector<Alternative> RewriteSubtree(const nal::AlgebraPtr& op,
+                                          const nal::SymbolSet& required);
+
+  ConditionChecker checker_;
+};
+
+/// Rule-name ranking used by Unnester::Best (smaller = better).
+int RulePriority(const std::string& rule);
+
+/// The paper's "factorize common subexpressions" at the algebra level:
+/// assigns a shared cse_id to structurally identical, env-independent
+/// subtrees that contain at least one document scan, so the evaluator
+/// computes them once per run. Returns a rewritten clone.
+nal::AlgebraPtr ShareCommonSubexpressions(const nal::AlgebraPtr& plan);
+
+}  // namespace nalq::rewrite
+
+#endif  // NALQ_REWRITE_UNNESTER_H_

@@ -1,0 +1,4 @@
+#include "xml/arena.h"
+
+// Header-only; this translation unit exists so the build has a stable home
+// for future out-of-line members of StringInterner.

@@ -1,0 +1,62 @@
+// String interning arena used by XML documents and the NAL symbol table.
+//
+// Tag and attribute names repeat heavily inside a document; interning them
+// turns name tests during XPath evaluation into integer comparisons.
+#ifndef NALQ_XML_ARENA_H_
+#define NALQ_XML_ARENA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace nalq::xml {
+
+/// Transparent hash so the intern map can be probed with string_view without
+/// materializing a std::string per lookup.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Interns strings, handing out dense uint32 ids. Id 0 is always the empty
+/// string. Not thread-safe; each Document owns its own interner.
+class StringInterner {
+ public:
+  StringInterner() { Intern(""); }
+
+  /// Returns the id for `s`, inserting it on first sight.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` if already interned, or UINT32_MAX.
+  uint32_t Find(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? UINT32_MAX : it->second;
+  }
+
+  std::string_view Get(uint32_t id) const { return strings_[id]; }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      ids_;
+};
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_ARENA_H_

@@ -1,0 +1,133 @@
+#include "xml/node.h"
+
+namespace nalq::xml {
+
+Document::Document(std::string name) : name_(std::move(name)) {
+  Node doc;
+  doc.kind = NodeKind::kDocument;
+  nodes_.push_back(doc);
+}
+
+NodeId Document::NewNode(NodeKind kind, NodeId parent) {
+  Node n;
+  n.kind = kind;
+  n.parent = parent;
+  nodes_.push_back(n);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Document::AppendChild(NodeId parent, NodeId child) {
+  Node& p = nodes_[parent];
+  if (p.first_child == kNoNode) {
+    p.first_child = child;
+  } else {
+    nodes_[p.last_child].next_sibling = child;
+  }
+  p.last_child = child;
+}
+
+NodeId Document::AddElement(NodeId parent, std::string_view tag) {
+  NodeId id = NewNode(NodeKind::kElement, parent);
+  nodes_[id].name = names_.Intern(tag);
+  AppendChild(parent, id);
+  return id;
+}
+
+NodeId Document::AddText(NodeId parent, std::string_view text) {
+  NodeId id = NewNode(NodeKind::kText, parent);
+  nodes_[id].text = static_cast<uint32_t>(texts_.size());
+  texts_.emplace_back(text);
+  AppendChild(parent, id);
+  return id;
+}
+
+NodeId Document::AddAttribute(NodeId element, std::string_view name,
+                              std::string_view value) {
+  assert(nodes_[element].kind == NodeKind::kElement);
+  NodeId id = NewNode(NodeKind::kAttribute, element);
+  nodes_[id].name = names_.Intern(name);
+  nodes_[id].text = static_cast<uint32_t>(texts_.size());
+  texts_.emplace_back(value);
+  // Chain onto the element's attribute list (order of declaration).
+  Node& el = nodes_[element];
+  if (el.first_attr == kNoNode) {
+    el.first_attr = id;
+  } else {
+    NodeId a = el.first_attr;
+    while (nodes_[a].next_sibling != kNoNode) a = nodes_[a].next_sibling;
+    nodes_[a].next_sibling = id;
+  }
+  return id;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  const Node& n = nodes_[id];
+  if (n.kind == NodeKind::kText || n.kind == NodeKind::kAttribute) {
+    return std::string(texts_[n.text]);
+  }
+  // Element/document: concatenate text of all descendants, in order.
+  std::string out;
+  // Iterative pre-order bounded by the subtree. Because ids are allocated in
+  // document order and subtrees are contiguous in a depth-first build, we can
+  // walk the child chains explicitly (robust even if ids were not contiguous).
+  std::vector<NodeId> stack;
+  for (NodeId c = n.first_child; c != kNoNode; c = nodes_[c].next_sibling) {
+    stack.push_back(c);
+  }
+  // Children were pushed in order; process with an explicit reversal to keep
+  // document order on a LIFO stack.
+  std::vector<NodeId> rev(stack.rbegin(), stack.rend());
+  stack = std::move(rev);
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& c = nodes_[cur];
+    if (c.kind == NodeKind::kText) {
+      out += texts_[c.text];
+    } else if (c.kind == NodeKind::kElement) {
+      std::vector<NodeId> kids;
+      for (NodeId k = c.first_child; k != kNoNode; k = nodes_[k].next_sibling) {
+        kids.push_back(k);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+size_t Document::CountElements(std::string_view tag) const {
+  uint32_t id = names_.Find(tag);
+  if (id == UINT32_MAX) return 0;
+  size_t count = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kElement && n.name == id) ++count;
+  }
+  return count;
+}
+
+size_t Document::ApproximateSerializedBytes() const {
+  size_t bytes = 0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.kind) {
+      case NodeKind::kElement:
+        // <tag></tag>
+        bytes += 2 * names_.Get(n.name).size() + 5;
+        break;
+      case NodeKind::kText:
+        bytes += texts_[n.text].size();
+        break;
+      case NodeKind::kAttribute:
+        // name="value"
+        bytes += names_.Get(n.name).size() + texts_[n.text].size() + 4;
+        break;
+      case NodeKind::kDocument:
+        break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace nalq::xml

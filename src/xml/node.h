@@ -1,0 +1,122 @@
+// Arena-allocated XML document trees with document-order node ids.
+//
+// This is the storage substrate standing in for the Natix engine used in the
+// paper. Nodes live in a flat vector; a NodeId is an index into it. Documents
+// must be built depth-first (the parser and the data generator both do), so
+// NodeId order coincides with document order — the property the paper's
+// order-preserving operators rely on ("the Υ operator generates its output in
+// document order").
+#ifndef NALQ_XML_NODE_H_
+#define NALQ_XML_NODE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/arena.h"
+
+namespace nalq::xml {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+enum class NodeKind : uint8_t { kDocument, kElement, kText, kAttribute };
+
+/// POD node record. Attribute nodes hang off `first_attr` of their element
+/// and are chained through `next_sibling`; they do not appear in the child
+/// chain.
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  uint32_t name = 0;   ///< interned tag/attribute name; 0 for text/document
+  uint32_t text = 0;   ///< index into Document texts for text/attribute nodes
+  NodeId parent = kNoNode;
+  NodeId first_child = kNoNode;
+  NodeId last_child = kNoNode;
+  NodeId next_sibling = kNoNode;
+  NodeId first_attr = kNoNode;
+};
+
+/// One XML document. Node 0 is the document node.
+class Document {
+ public:
+  explicit Document(std::string name);
+
+  // ---- construction (depth-first order required) -----------------------
+  /// Appends an element as the last child of `parent`. Returns its id.
+  NodeId AddElement(NodeId parent, std::string_view tag);
+  /// Appends a text node as the last child of `parent`.
+  NodeId AddText(NodeId parent, std::string_view text);
+  /// Attaches an attribute to `element`.
+  NodeId AddAttribute(NodeId element, std::string_view name,
+                      std::string_view value);
+
+  // ---- accessors --------------------------------------------------------
+  const std::string& name() const { return name_; }
+  NodeId root() const { return 0; }
+  size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+  NodeId first_attr(NodeId id) const { return nodes_[id].first_attr; }
+
+  /// Interned id of the element/attribute name (0 for text/document nodes).
+  uint32_t name_id(NodeId id) const { return nodes_[id].name; }
+  std::string_view node_name(NodeId id) const {
+    return names_.Get(nodes_[id].name);
+  }
+  /// Raw text content of a text or attribute node.
+  std::string_view raw_text(NodeId id) const { return texts_[nodes_[id].text]; }
+
+  /// XPath string value: concatenation of all descendant text (for elements),
+  /// the text itself (text/attribute nodes), or the whole document's text.
+  std::string StringValue(NodeId id) const;
+
+  /// Number of element nodes named `tag` in the whole document.
+  size_t CountElements(std::string_view tag) const;
+
+  const StringInterner& names() const { return names_; }
+  StringInterner& names() { return names_; }
+
+  /// Attached DOCTYPE internal subset, if the parser saw one.
+  const std::string& dtd_text() const { return dtd_text_; }
+  void set_dtd_text(std::string dtd) { dtd_text_ = std::move(dtd); }
+
+  /// Approximate serialized size in bytes (used by the Fig. 6 bench).
+  size_t ApproximateSerializedBytes() const;
+
+ private:
+  NodeId NewNode(NodeKind kind, NodeId parent);
+  void AppendChild(NodeId parent, NodeId child);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::string> texts_;
+  StringInterner names_;
+  std::string dtd_text_;
+};
+
+using DocId = uint32_t;
+
+/// Handle to a node in some document of a Store. Ordering = document order
+/// (within one document) / document id order (across documents).
+struct NodeRef {
+  DocId doc = 0;
+  NodeId id = kNoNode;
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+  friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+struct NodeRefHash {
+  size_t operator()(const NodeRef& r) const noexcept {
+    return (static_cast<size_t>(r.doc) << 32) ^ r.id;
+  }
+};
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_NODE_H_

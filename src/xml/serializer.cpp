@@ -1,0 +1,87 @@
+#include "xml/serializer.h"
+
+#include "xml/parser.h"
+
+namespace nalq::xml {
+
+namespace {
+
+void Indent(std::string* out, int level) {
+  out->append(static_cast<size_t>(level) * 2, ' ');
+}
+
+void SerializeRec(const Document& doc, NodeId id, std::string* out,
+                  const SerializeOptions& options, int level) {
+  const Node& n = doc.node(id);
+  switch (n.kind) {
+    case NodeKind::kText:
+      if (options.indent) Indent(out, level);
+      *out += EncodeEntities(doc.raw_text(id));
+      if (options.indent) *out += '\n';
+      return;
+    case NodeKind::kAttribute:
+      *out += EncodeEntities(doc.raw_text(id), /*for_attribute=*/true);
+      return;
+    case NodeKind::kDocument:
+      for (NodeId c = n.first_child; c != kNoNode;
+           c = doc.next_sibling(c)) {
+        SerializeRec(doc, c, out, options, level);
+      }
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  if (options.indent) Indent(out, level);
+  *out += '<';
+  *out += doc.node_name(id);
+  for (NodeId a = n.first_attr; a != kNoNode; a = doc.next_sibling(a)) {
+    *out += ' ';
+    *out += doc.node_name(a);
+    *out += "=\"";
+    *out += EncodeEntities(doc.raw_text(a), /*for_attribute=*/true);
+    *out += '"';
+  }
+  if (n.first_child == kNoNode) {
+    *out += "/>";
+    if (options.indent) *out += '\n';
+    return;
+  }
+  *out += '>';
+  // Elements with a single text child render inline even when indenting.
+  bool single_text = doc.kind(n.first_child) == NodeKind::kText &&
+                     doc.next_sibling(n.first_child) == kNoNode;
+  if (options.indent && !single_text) *out += '\n';
+  for (NodeId c = n.first_child; c != kNoNode; c = doc.next_sibling(c)) {
+    if (single_text) {
+      *out += EncodeEntities(doc.raw_text(c));
+    } else {
+      SerializeRec(doc, c, out, options, level + 1);
+    }
+  }
+  if (options.indent && !single_text) Indent(out, level);
+  *out += "</";
+  *out += doc.node_name(id);
+  *out += '>';
+  if (options.indent) *out += '\n';
+}
+
+}  // namespace
+
+void SerializeTo(const Document& doc, NodeId id, std::string* out,
+                 const SerializeOptions& options) {
+  SerializeRec(doc, id, out, options, options.indent_level);
+}
+
+std::string Serialize(const Document& doc, NodeId id,
+                      const SerializeOptions& options) {
+  std::string out;
+  SerializeTo(doc, id, &out, options);
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc,
+                              const SerializeOptions& options) {
+  return Serialize(doc, doc.root(), options);
+}
+
+}  // namespace nalq::xml

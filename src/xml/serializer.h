@@ -1,0 +1,32 @@
+// Serializes document subtrees back to XML text. Used by result construction
+// (copying selected subtrees to the output stream) and by tests.
+#ifndef NALQ_XML_SERIALIZER_H_
+#define NALQ_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace nalq::xml {
+
+struct SerializeOptions {
+  bool indent = false;       ///< pretty-print with two-space indentation
+  int indent_level = 0;      ///< starting depth when indenting
+};
+
+/// Serializes the subtree rooted at `id` (element, text or attribute node).
+/// Attribute nodes serialize as their value text.
+std::string Serialize(const Document& doc, NodeId id,
+                      const SerializeOptions& options = {});
+
+/// Appends the serialization of `id` to `out`.
+void SerializeTo(const Document& doc, NodeId id, std::string* out,
+                 const SerializeOptions& options = {});
+
+/// Serializes the whole document (children of the document node).
+std::string SerializeDocument(const Document& doc,
+                              const SerializeOptions& options = {});
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_SERIALIZER_H_

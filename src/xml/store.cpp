@@ -1,0 +1,36 @@
+#include "xml/store.h"
+
+#include "xml/parser.h"
+
+namespace nalq::xml {
+
+DocId AddDocumentImpl(std::vector<std::unique_ptr<Document>>* documents,
+                      std::unordered_map<std::string, DocId>* by_name,
+                      Document doc) {
+  const std::string name = doc.name();  // copied: doc is moved away below
+  auto it = by_name->find(name);
+  if (it != by_name->end()) {
+    (*documents)[it->second] = std::make_unique<Document>(std::move(doc));
+    return it->second;
+  }
+  DocId id = static_cast<DocId>(documents->size());
+  documents->push_back(std::make_unique<Document>(std::move(doc)));
+  by_name->emplace(name, id);
+  return id;
+}
+
+DocId Store::AddDocument(Document doc) {
+  return AddDocumentImpl(&documents_, &by_name_, std::move(doc));
+}
+
+DocId Store::AddDocumentText(std::string name, std::string_view xml_text) {
+  return AddDocument(ParseDocument(std::move(name), xml_text));
+}
+
+std::optional<DocId> Store::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? std::nullopt
+                              : std::optional<DocId>(it->second);
+}
+
+}  // namespace nalq::xml

@@ -1,0 +1,50 @@
+// In-memory document store: the "database" documents are loaded into and the
+// resolver behind the XQuery doc()/document() functions.
+#ifndef NALQ_XML_STORE_H_
+#define NALQ_XML_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace nalq::xml {
+
+/// Owns a set of named documents. Document handles (DocId) are stable for the
+/// lifetime of the store.
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Adds (or replaces) a document under its own name. Returns its id.
+  DocId AddDocument(Document doc);
+
+  /// Parses `xml_text` and adds it under `name`.
+  DocId AddDocumentText(std::string name, std::string_view xml_text);
+
+  /// Looks a document up by name.
+  std::optional<DocId> Find(std::string_view name) const;
+
+  const Document& document(DocId id) const { return *documents_[id]; }
+  Document& document(DocId id) { return *documents_[id]; }
+  size_t size() const { return documents_.size(); }
+
+  /// Resolves a NodeRef to its document.
+  const Document& doc_of(const NodeRef& ref) const {
+    return *documents_[ref.doc];
+  }
+
+ private:
+  std::vector<std::unique_ptr<Document>> documents_;
+  std::unordered_map<std::string, DocId> by_name_;
+};
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_STORE_H_

@@ -1,0 +1,209 @@
+#include "xml/xpath.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nalq::xml {
+
+namespace {
+
+bool IsStepChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+}  // namespace
+
+Path Path::Parse(std::string_view text) {
+  std::vector<Step> steps;
+  bool absolute = false;
+  size_t i = 0;
+  auto fail = [&](const std::string& message) {
+    throw std::invalid_argument("bad path '" + std::string(text) +
+                                "': " + message);
+  };
+  Axis pending = Axis::kChild;
+  if (text.substr(0, 2) == "//") {
+    absolute = true;
+    pending = Axis::kDescendant;
+    i = 2;
+  } else if (!text.empty() && text[0] == '/') {
+    absolute = true;
+    i = 1;
+  }
+  for (;;) {
+    if (i >= text.size()) fail("trailing separator or empty path");
+    Step step;
+    step.axis = pending;
+    if (text[i] == '@') {
+      if (pending == Axis::kDescendant) fail("//@ not supported");
+      step.axis = Axis::kAttribute;
+      ++i;
+    }
+    if (i < text.size() && text[i] == '*') {
+      step.name = "*";
+      ++i;
+    } else {
+      size_t start = i;
+      while (i < text.size() && IsStepChar(text[i])) ++i;
+      if (i == start) fail("expected step name");
+      step.name = std::string(text.substr(start, i - start));
+      if (step.name == "text" && text.substr(i, 2) == "()") {
+        step.axis = pending == Axis::kDescendant ? Axis::kDescendant
+                                                 : Axis::kText;
+        if (pending == Axis::kDescendant) fail("//text() not supported");
+        i += 2;
+      }
+    }
+    steps.push_back(std::move(step));
+    if (i >= text.size()) break;
+    if (text.substr(i, 2) == "//") {
+      pending = Axis::kDescendant;
+      i += 2;
+    } else if (text[i] == '/') {
+      pending = Axis::kChild;
+      ++i;
+    } else {
+      fail("unexpected character");
+    }
+  }
+  return Path(absolute, std::move(steps));
+}
+
+Path Path::Concat(const Path& rest) const {
+  Path out = *this;
+  out.steps_.insert(out.steps_.end(), rest.steps_.begin(), rest.steps_.end());
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const Step& s : steps_) {
+    if (s.axis == Axis::kDescendant) {
+      out += "//";
+    } else if (!first || absolute_) {
+      out += "/";
+    }
+    if (s.axis == Axis::kAttribute) out += '@';
+    out += s.axis == Axis::kText ? "text()" : s.name;
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends all matching nodes for one step from `from`, in document order.
+void ApplyStep(const Document& doc, DocId doc_id, const Step& step,
+               NodeId from, std::vector<NodeRef>* out, XPathStats* stats) {
+  uint32_t name_id =
+      step.wildcard() ? UINT32_MAX : doc.names().Find(step.name);
+  auto matches = [&](NodeId id) {
+    if (stats != nullptr) ++stats->nodes_visited;
+    const Node& n = doc.node(id);
+    switch (step.axis) {
+      case Axis::kText:
+        return n.kind == NodeKind::kText;
+      case Axis::kAttribute:
+        return false;  // attributes handled separately
+      default:
+        return n.kind == NodeKind::kElement &&
+               (step.wildcard() || n.name == name_id);
+    }
+  };
+  switch (step.axis) {
+    case Axis::kAttribute: {
+      if (doc.kind(from) != NodeKind::kElement) return;
+      if (name_id == UINT32_MAX && !step.wildcard()) return;
+      for (NodeId a = doc.first_attr(from); a != kNoNode;
+           a = doc.next_sibling(a)) {
+        if (stats != nullptr) ++stats->nodes_visited;
+        if (step.wildcard() || doc.name_id(a) == name_id) {
+          out->push_back(NodeRef{doc_id, a});
+        }
+      }
+      return;
+    }
+    case Axis::kChild:
+    case Axis::kText: {
+      if (name_id == UINT32_MAX && !step.wildcard() &&
+          step.axis != Axis::kText) {
+        return;  // name never occurs in this document
+      }
+      for (NodeId c = doc.first_child(from); c != kNoNode;
+           c = doc.next_sibling(c)) {
+        if (matches(c)) out->push_back(NodeRef{doc_id, c});
+      }
+      return;
+    }
+    case Axis::kDescendant: {
+      if (name_id == UINT32_MAX && !step.wildcard()) return;
+      // Depth-first walk of the subtree; emission order = document order.
+      std::vector<NodeId> stack;
+      auto push_children = [&](NodeId parent) {
+        std::vector<NodeId> kids;
+        for (NodeId c = doc.first_child(parent); c != kNoNode;
+             c = doc.next_sibling(c)) {
+          kids.push_back(c);
+        }
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back(*it);
+        }
+      };
+      push_children(from);
+      while (!stack.empty()) {
+        NodeId cur = stack.back();
+        stack.pop_back();
+        if (matches(cur)) out->push_back(NodeRef{doc_id, cur});
+        if (doc.kind(cur) == NodeKind::kElement) push_children(cur);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
+                              NodeRef context, XPathStats* stats) {
+  std::vector<NodeRef> current;
+  if (path.absolute()) {
+    current.push_back(NodeRef{context.doc, store.document(context.doc).root()});
+  } else {
+    current.push_back(context);
+  }
+  std::vector<NodeRef> next;
+  for (const Step& step : path.steps()) {
+    if (stats != nullptr) ++stats->steps_evaluated;
+    next.clear();
+    for (const NodeRef& ref : current) {
+      ApplyStep(store.document(ref.doc), ref.doc, step, ref.id, &next, stats);
+    }
+    // Starting from a single context node, child/attribute steps keep
+    // document order and produce no duplicates. A descendant step applied to
+    // several context nodes can produce out-of-order duplicates (ancestor
+    // and descendant both in `current`); normalize.
+    if (current.size() > 1 && step.axis == Axis::kDescendant) {
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
+                              std::span<const NodeRef> context,
+                              XPathStats* stats) {
+  std::vector<NodeRef> out;
+  for (const NodeRef& ref : context) {
+    std::vector<NodeRef> one = EvalPath(store, path, ref, stats);
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace nalq::xml

@@ -1,0 +1,80 @@
+// XPath-lite: the path fragment used by the paper's queries.
+//
+//   path     ::= ('/' | '//')? step (('/' | '//') step)*
+//   step     ::= name | '*' | '@' name | 'text()'
+//
+// Predicates ([...]) are *not* evaluated here; the XQuery normalizer moves
+// them into where clauses (paper Sec. 3 step 4) before translation. Results
+// are duplicate-free and in document order, the property the paper relies on
+// for the Υ operator ("Υ generates its output in document order").
+#ifndef NALQ_XML_XPATH_H_
+#define NALQ_XML_XPATH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/store.h"
+
+namespace nalq::xml {
+
+enum class Axis : uint8_t { kChild, kDescendant, kAttribute, kText };
+
+struct Step {
+  Axis axis = Axis::kChild;
+  std::string name;  ///< name test; "*" matches any element
+  bool wildcard() const { return name == "*"; }
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+/// A parsed path. `absolute` paths start at the document node of each context
+/// node's document; relative paths start at the context nodes themselves.
+class Path {
+ public:
+  Path() = default;
+  Path(bool absolute, std::vector<Step> steps)
+      : absolute_(absolute), steps_(std::move(steps)) {}
+
+  /// Parses the textual form, e.g. "//book/title", "author", "@year",
+  /// "bidtuple/itemno". Throws std::invalid_argument on malformed input.
+  static Path Parse(std::string_view text);
+
+  bool absolute() const { return absolute_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Concatenation: `this` then `rest` (rest must be relative).
+  Path Concat(const Path& rest) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+
+ private:
+  bool absolute_ = false;
+  std::vector<Step> steps_;
+};
+
+/// Counters the evaluator exposes so the benchmarks can report how often the
+/// nested plan rescans a document (the paper's "|author|+1 scans" argument).
+struct XPathStats {
+  uint64_t steps_evaluated = 0;
+  uint64_t nodes_visited = 0;
+};
+
+/// Evaluates `path` from a single context node. Results are in document
+/// order and duplicate-free.
+std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
+                              NodeRef context, XPathStats* stats = nullptr);
+
+/// Evaluates `path` from a sequence of context nodes (result merged into
+/// document order, duplicates removed).
+std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
+                              std::span<const NodeRef> context,
+                              XPathStats* stats = nullptr);
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_XPATH_H_

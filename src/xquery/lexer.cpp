@@ -1,0 +1,228 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace nalq::xquery {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+}  // namespace
+
+const Token& Lexer::Peek() {
+  if (!has_current_) Lex();
+  return current_;
+}
+
+Token Lexer::Next() {
+  if (!has_current_) Lex();
+  has_current_ = false;
+  return current_;
+}
+
+bool Lexer::PeekIsName(std::string_view keyword) {
+  const Token& t = Peek();
+  return t.kind == TokKind::kName && t.text == keyword;
+}
+
+size_t Lexer::PeekBegin() { return Peek().begin; }
+
+void Lexer::ResetTo(size_t pos) {
+  pos_ = pos;
+  has_current_ = false;
+}
+
+void Lexer::SkipWsAndComments() {
+  for (;;) {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (in_.substr(pos_, 2) == "(:") {
+      size_t end = in_.find(":)", pos_ + 2);
+      if (end == std::string_view::npos) {
+        throw LexError("unterminated comment", pos_);
+      }
+      pos_ = end + 2;
+      continue;
+    }
+    return;
+  }
+}
+
+void Lexer::Lex() {
+  SkipWsAndComments();
+  current_ = Token();
+  current_.begin = pos_;
+  has_current_ = true;
+  if (pos_ >= in_.size()) {
+    current_.kind = TokKind::kEof;
+    current_.end = pos_;
+    return;
+  }
+  char c = in_[pos_];
+  auto single = [&](TokKind kind) {
+    current_.kind = kind;
+    ++pos_;
+    current_.end = pos_;
+  };
+  switch (c) {
+    case '(':
+      single(TokKind::kLParen);
+      return;
+    case ')':
+      single(TokKind::kRParen);
+      return;
+    case ',':
+      single(TokKind::kComma);
+      return;
+    case '{':
+      single(TokKind::kLBrace);
+      return;
+    case '}':
+      single(TokKind::kRBrace);
+      return;
+    case '[':
+      single(TokKind::kLBracket);
+      return;
+    case ']':
+      single(TokKind::kRBracket);
+      return;
+    case '@':
+      single(TokKind::kAt);
+      return;
+    case '*':
+      single(TokKind::kStar);
+      return;
+    case '+':
+      single(TokKind::kPlus);
+      return;
+    case '-':
+      single(TokKind::kMinus);
+      return;
+    case '.':
+      single(TokKind::kDot);
+      return;
+    case '=':
+      single(TokKind::kEq);
+      return;
+    case '/':
+      if (in_.substr(pos_, 2) == "//") {
+        current_.kind = TokKind::kSlashSlash;
+        pos_ += 2;
+      } else {
+        current_.kind = TokKind::kSlash;
+        ++pos_;
+      }
+      current_.end = pos_;
+      return;
+    case ':':
+      if (in_.substr(pos_, 2) == ":=") {
+        current_.kind = TokKind::kAssign;
+        pos_ += 2;
+        current_.end = pos_;
+        return;
+      }
+      throw LexError("unexpected ':'", pos_);
+    case '!':
+      if (in_.substr(pos_, 2) == "!=") {
+        current_.kind = TokKind::kNe;
+        pos_ += 2;
+        current_.end = pos_;
+        return;
+      }
+      throw LexError("unexpected '!'", pos_);
+    case '<':
+      if (in_.substr(pos_, 2) == "<=") {
+        current_.kind = TokKind::kLe;
+        pos_ += 2;
+      } else {
+        current_.kind = TokKind::kLt;
+        ++pos_;
+      }
+      current_.end = pos_;
+      return;
+    case '>':
+      if (in_.substr(pos_, 2) == ">=") {
+        current_.kind = TokKind::kGe;
+        pos_ += 2;
+      } else {
+        current_.kind = TokKind::kGt;
+        ++pos_;
+      }
+      current_.end = pos_;
+      return;
+    case '$': {
+      ++pos_;
+      if (pos_ >= in_.size() || !IsNameStart(in_[pos_])) {
+        throw LexError("expected variable name after '$'", pos_);
+      }
+      size_t start = pos_;
+      while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+      current_.kind = TokKind::kVar;
+      current_.text = std::string(in_.substr(start, pos_ - start));
+      current_.end = pos_;
+      return;
+    }
+    case '"':
+    case '\'': {
+      char quote = c;
+      ++pos_;
+      std::string text;
+      while (pos_ < in_.size() && in_[pos_] != quote) {
+        text += in_[pos_++];
+      }
+      if (pos_ >= in_.size()) {
+        throw LexError("unterminated string literal", current_.begin);
+      }
+      ++pos_;
+      current_.kind = TokKind::kString;
+      current_.text = std::move(text);
+      current_.end = pos_;
+      return;
+    }
+    default:
+      break;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    bool is_integer = true;
+    while (pos_ < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < in_.size() && in_[pos_] == '.' && pos_ + 1 < in_.size() &&
+        std::isdigit(static_cast<unsigned char>(in_[pos_ + 1]))) {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    current_.kind = TokKind::kNumber;
+    current_.is_integer = is_integer;
+    current_.number = std::stod(std::string(in_.substr(start, pos_ - start)));
+    current_.end = pos_;
+    return;
+  }
+  if (IsNameStart(c)) {
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    current_.kind = TokKind::kName;
+    current_.text = std::string(in_.substr(start, pos_ - start));
+    current_.end = pos_;
+    return;
+  }
+  throw LexError(std::string("unexpected character '") + c + "'", pos_);
+}
+
+}  // namespace nalq::xquery

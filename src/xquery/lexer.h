@@ -1,0 +1,88 @@
+// Tokenizer for the XQuery subset. Direct element constructors are
+// context-dependent ('<' can open a tag or be a comparison), so the lexer
+// exposes raw character access; the parser switches into raw mode when a
+// constructor can start.
+#ifndef NALQ_XQUERY_LEXER_H_
+#define NALQ_XQUERY_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nalq::xquery {
+
+enum class TokKind : uint8_t {
+  kEof,
+  kVar,       // $name
+  kName,      // QName (includes keywords; the parser disambiguates)
+  kString,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSlash,
+  kSlashSlash,
+  kAt,
+  kStar,
+  kPlus,
+  kMinus,
+  kDot,
+  kAssign,  // :=
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;   // var/name/string content
+  double number = 0;  // kNumber
+  bool is_integer = false;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, size_t offset)
+      : std::runtime_error(message + " at offset " + std::to_string(offset)) {}
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : in_(input) {}
+
+  /// Current token (lexed lazily).
+  const Token& Peek();
+  /// Consumes and returns the current token.
+  Token Next();
+  /// True iff the current token is a name with exactly this text.
+  bool PeekIsName(std::string_view keyword);
+
+  /// Raw-mode support for element constructors: byte offset of the current
+  /// token's first character.
+  size_t PeekBegin();
+  /// Restarts lexing from byte offset `pos`.
+  void ResetTo(size_t pos);
+  std::string_view input() const { return in_; }
+
+ private:
+  void Lex();
+  void SkipWsAndComments();
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  Token current_;
+  bool has_current_ = false;
+};
+
+}  // namespace nalq::xquery
+
+#endif  // NALQ_XQUERY_LEXER_H_

@@ -1,0 +1,662 @@
+#include "xquery/normalize.h"
+
+#include <atomic>
+#include <functional>
+
+namespace nalq::xquery {
+
+namespace {
+
+/// Applies `fn` to every sub-AST bottom-up and returns the rebuilt tree.
+AstPtr Transform(const AstPtr& node,
+                 const std::function<AstPtr(const AstPtr&)>& fn) {
+  AstPtr copy = std::make_shared<Ast>(*node);
+  copy->children.clear();
+  for (const AstPtr& c : node->children) {
+    copy->children.push_back(Transform(c, fn));
+  }
+  copy->steps.clear();
+  for (const PathStepAst& s : node->steps) {
+    PathStepAst step = s;
+    if (s.predicate != nullptr) step.predicate = Transform(s.predicate, fn);
+    copy->steps.push_back(std::move(step));
+  }
+  copy->clauses.clear();
+  for (const Clause& c : node->clauses) {
+    Clause clause = c;
+    if (c.expr != nullptr) clause.expr = Transform(c.expr, fn);
+    copy->clauses.push_back(std::move(clause));
+  }
+  if (node->ret != nullptr) copy->ret = Transform(node->ret, fn);
+  copy->order_by.clear();
+  for (const auto& [key, desc] : node->order_by) {
+    copy->order_by.emplace_back(Transform(key, fn), desc);
+  }
+  if (node->range != nullptr) copy->range = Transform(node->range, fn);
+  if (node->satisfies != nullptr) {
+    copy->satisfies = Transform(node->satisfies, fn);
+  }
+  copy->attributes.clear();
+  for (const auto& [name, parts] : node->attributes) {
+    std::vector<CtorPart> out_parts;
+    for (const CtorPart& p : parts) {
+      CtorPart part = p;
+      if (p.expr != nullptr) part.expr = Transform(p.expr, fn);
+      out_parts.push_back(std::move(part));
+    }
+    copy->attributes.emplace_back(name, std::move(out_parts));
+  }
+  copy->content.clear();
+  for (const CtorPart& p : node->content) {
+    CtorPart part = p;
+    if (p.expr != nullptr) part.expr = Transform(p.expr, fn);
+    copy->content.push_back(std::move(part));
+  }
+  return fn(copy);
+}
+
+bool IsAggregateFn(const std::string& name) {
+  return name == "count" || name == "min" || name == "max" || name == "sum" ||
+         name == "avg";
+}
+
+bool ContainsFlwrOrPredicatePath(const AstPtr& e) {
+  if (e->kind == AstKind::kFlwr) return true;
+  if (e->kind == AstKind::kPathExpr) {
+    for (const PathStepAst& s : e->steps) {
+      if (s.predicate != nullptr) return true;
+    }
+  }
+  for (const AstPtr& c : e->children) {
+    if (ContainsFlwrOrPredicatePath(c)) return true;
+  }
+  return false;
+}
+
+/// Splits a conjunction into conjuncts.
+void SplitConjuncts(const AstPtr& e, std::vector<AstPtr>* out) {
+  if (e->kind == AstKind::kAnd) {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+AstPtr JoinConjuncts(const std::vector<AstPtr>& conjuncts) {
+  AstPtr out;
+  for (const AstPtr& c : conjuncts) {
+    out = out == nullptr ? c : MakeAndAst(out, c);
+  }
+  return out;
+}
+
+/// Does `e` reference variable `var` (not counting rebinding — the subset
+/// has no shadowing in practice)?
+bool ReferencesVar(const AstPtr& e, const std::string& var) {
+  if (e->kind == AstKind::kVarRef && e->name == var) return true;
+  for (const AstPtr& c : e->children) {
+    if (ReferencesVar(c, var)) return true;
+  }
+  for (const PathStepAst& s : e->steps) {
+    if (s.predicate != nullptr && ReferencesVar(s.predicate, var)) return true;
+  }
+  for (const Clause& c : e->clauses) {
+    if (c.expr != nullptr && ReferencesVar(c.expr, var)) return true;
+  }
+  if (e->ret != nullptr && ReferencesVar(e->ret, var)) return true;
+  if (e->range != nullptr && ReferencesVar(e->range, var)) return true;
+  if (e->satisfies != nullptr && ReferencesVar(e->satisfies, var)) return true;
+  for (const auto& [name, parts] : e->attributes) {
+    for (const CtorPart& p : parts) {
+      if (p.expr != nullptr && ReferencesVar(p.expr, var)) return true;
+    }
+  }
+  for (const CtorPart& p : e->content) {
+    if (p.expr != nullptr && ReferencesVar(p.expr, var)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FreshVar(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  return prefix + "_n" + std::to_string(counter.fetch_add(1));
+}
+
+namespace {
+
+/// Substitutes every reference to $var with (a clone of) `replacement`.
+AstPtr SubstituteVar(const AstPtr& e, const std::string& var,
+                     const AstPtr& replacement) {
+  return Transform(e, [&](const AstPtr& node) -> AstPtr {
+    if (node->kind == AstKind::kVarRef && node->name == var) {
+      return replacement->Clone();
+    }
+    return node;
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 0: inline doc()/document() lets.
+//
+// The paper replicates the χ_{d:doc(..)} operator into each nested query
+// block (e.g. Sec. 5.4's e2 re-binds d1), which keeps nested blocks free of
+// outer variables (condition F(e2) ∩ A(e1) = ∅). Inlining the doc variable
+// achieves the same decoupling.
+// ---------------------------------------------------------------------------
+
+AstPtr InlineDocLets(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    for (size_t i = 0; i < flwr->clauses.size();) {
+      const Clause& c = flwr->clauses[i];
+      bool is_doc_let =
+          c.kind == Clause::Kind::kLet && c.expr != nullptr &&
+          c.expr->kind == AstKind::kFnCall &&
+          (c.expr->name == "doc" || c.expr->name == "document") &&
+          c.expr->children.size() == 1 &&
+          c.expr->children[0]->kind == AstKind::kLiteral;
+      if (!is_doc_let) {
+        ++i;
+        continue;
+      }
+      std::string var = c.var;
+      AstPtr replacement = c.expr;
+      flwr->clauses.erase(flwr->clauses.begin() + static_cast<long>(i));
+      for (size_t j = i; j < flwr->clauses.size(); ++j) {
+        if (flwr->clauses[j].expr != nullptr) {
+          flwr->clauses[j].expr =
+              SubstituteVar(flwr->clauses[j].expr, var, replacement);
+        }
+      }
+      if (flwr->ret != nullptr) {
+        flwr->ret = SubstituteVar(flwr->ret, var, replacement);
+      }
+    }
+    return flwr;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2b: bind relative-path comparison operands in where clauses
+// (the paper's "let $a2 := $b2/author" of Sec. 5.1's normalization).
+// ---------------------------------------------------------------------------
+
+AstPtr BindWherePaths(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    std::vector<Clause> out;
+    for (const Clause& c : flwr->clauses) {
+      if (c.kind != Clause::Kind::kWhere) {
+        out.push_back(c);
+        continue;
+      }
+      std::vector<AstPtr> conjuncts;
+      SplitConjuncts(c.expr, &conjuncts);
+      std::vector<AstPtr> rewritten;
+      for (AstPtr conj : conjuncts) {
+        if (conj->kind != AstKind::kCmp) {
+          rewritten.push_back(conj);
+          continue;
+        }
+        for (int side = 0; side < 2; ++side) {
+          const AstPtr& operand = conj->children[side];
+          if (operand->kind == AstKind::kPathExpr &&
+              operand->children[0]->kind == AstKind::kVarRef) {
+            std::string fresh = FreshVar(
+                operand->steps.empty() ? std::string("p")
+                                       : operand->steps.back().name);
+            Clause let;
+            let.kind = Clause::Kind::kLet;
+            let.var = fresh;
+            let.expr = operand;
+            out.push_back(std::move(let));
+            AstPtr copy = std::make_shared<Ast>(*conj);
+            copy->children[side] = MakeVarRef(fresh);
+            conj = copy;
+          }
+        }
+        rewritten.push_back(conj);
+      }
+      Clause where;
+      where.kind = Clause::Kind::kWhere;
+      where.expr = JoinConjuncts(rewritten);
+      out.push_back(std::move(where));
+    }
+    flwr->clauses = std::move(out);
+    return flwr;
+  });
+}
+
+AstPtr RebaseContext(const AstPtr& e, const std::string& var) {
+  return Transform(e, [&](const AstPtr& node) -> AstPtr {
+    if (node->kind == AstKind::kContextRef) return MakeVarRef(var);
+    if (node->kind == AstKind::kPathExpr &&
+        node->children[0]->kind == AstKind::kContextRef) {
+      AstPtr copy = std::make_shared<Ast>(*node);
+      copy->children[0] = MakeVarRef(var);
+      return copy;
+    }
+    return node;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: for $x in P[pred]  →  for $x in P where pred[. := $x]
+// ---------------------------------------------------------------------------
+
+AstPtr HoistPathPredicates(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    std::vector<Clause> out;
+    for (const Clause& c : flwr->clauses) {
+      if (c.kind != Clause::Kind::kFor || c.expr == nullptr ||
+          c.expr->kind != AstKind::kPathExpr) {
+        out.push_back(c);
+        continue;
+      }
+      // Strip predicates from the trailing step(s); earlier-step predicates
+      // would change which subtrees are visited and are hoisted per-step via
+      // fresh for variables only when they are on the final step — the
+      // queries in scope only use final-step predicates.
+      AstPtr range = c.expr->Clone();
+      std::vector<AstPtr> hoisted;
+      if (!range->steps.empty() && range->steps.back().predicate != nullptr) {
+        AstPtr pred = range->steps.back().predicate;
+        range->steps.back().predicate = nullptr;
+        hoisted.push_back(RebaseContext(pred, c.var));
+      }
+      Clause for_clause = c;
+      for_clause.expr = range;
+      out.push_back(std::move(for_clause));
+      for (const AstPtr& pred : hoisted) {
+        Clause where;
+        where.kind = Clause::Kind::kWhere;
+        where.expr = pred;
+        out.push_back(std::move(where));
+      }
+    }
+    flwr->clauses = std::move(out);
+    return flwr;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: quantifier normalization (paper steps 1/2; the Q5 rewrites)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rewrites comparisons in the range FLWR's where clauses whose operand is a
+/// relative path from a for-variable into an explicit author-style unnest:
+///   where $a1 = $b3/author  →  for $a3 in $b3/author where $a1 = $a3
+void UnnestWherePaths(Ast* flwr) {
+  std::vector<Clause> out;
+  for (Clause& c : flwr->clauses) {
+    if (c.kind != Clause::Kind::kWhere) {
+      out.push_back(std::move(c));
+      continue;
+    }
+    std::vector<AstPtr> conjuncts;
+    SplitConjuncts(c.expr, &conjuncts);
+    std::vector<AstPtr> rewritten;
+    for (AstPtr& conj : conjuncts) {
+      if (conj->kind != AstKind::kCmp) {
+        rewritten.push_back(conj);
+        continue;
+      }
+      for (int side = 0; side < 2; ++side) {
+        AstPtr operand = conj->children[side];
+        if (operand->kind == AstKind::kPathExpr &&
+            operand->children[0]->kind == AstKind::kVarRef &&
+            !operand->steps.empty() &&
+            operand->steps.back().axis != xml::Axis::kAttribute) {
+          std::string fresh = FreshVar(operand->steps.back().name);
+          Clause unnest;
+          unnest.kind = Clause::Kind::kFor;
+          unnest.var = fresh;
+          unnest.expr = operand;
+          out.push_back(std::move(unnest));
+          AstPtr copy = std::make_shared<Ast>(*conj);
+          copy->children[side] = MakeVarRef(fresh);
+          conj = copy;
+        }
+      }
+      rewritten.push_back(conj);
+    }
+    Clause where;
+    where.kind = Clause::Kind::kWhere;
+    where.expr = JoinConjuncts(rewritten);
+    out.push_back(std::move(where));
+  }
+  flwr->clauses = std::move(out);
+}
+
+/// Collects the distinct paths through which `pred` references $var; returns
+/// false if $var is also referenced directly.
+bool CollectVarPaths(const AstPtr& pred, const std::string& var,
+                     std::vector<AstPtr>* paths) {
+  if (pred->kind == AstKind::kVarRef && pred->name == var) return false;
+  if (pred->kind == AstKind::kPathExpr &&
+      pred->children[0]->kind == AstKind::kVarRef &&
+      pred->children[0]->name == var) {
+    for (const AstPtr& seen : *paths) {
+      if (seen->ToString() == pred->ToString()) return true;
+    }
+    paths->push_back(pred);
+    return true;
+  }
+  for (const AstPtr& c : pred->children) {
+    if (!CollectVarPaths(c, var, paths)) return false;
+  }
+  return true;
+}
+
+AstPtr ReplacePath(const AstPtr& e, const AstPtr& path,
+                   const std::string& var) {
+  std::string needle = path->ToString();
+  return Transform(e, [&](const AstPtr& node) -> AstPtr {
+    if (node->kind == AstKind::kPathExpr && node->ToString() == needle) {
+      return MakeVarRef(var);
+    }
+    return node;
+  });
+}
+
+}  // namespace
+
+AstPtr NormalizeQuantifiers(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kQuantified) return node;
+    AstPtr q = std::make_shared<Ast>(*node);
+    // (a) Embed the range into a FLWR.
+    AstPtr range = q->range;
+    AstPtr flwr;
+    if (range->kind == AstKind::kFlwr) {
+      flwr = range->Clone();
+    } else {
+      flwr = std::make_shared<Ast>();
+      flwr->kind = AstKind::kFlwr;
+      Clause for_clause;
+      for_clause.kind = Clause::Kind::kFor;
+      for_clause.var = q->qvar;
+      for_clause.expr = range;
+      flwr->clauses.push_back(std::move(for_clause));
+      flwr->ret = MakeVarRef(q->qvar);
+    }
+    // (b) Hoist range-path predicates (the for-clause may carry [..]).
+    flwr = HoistPathPredicates(flwr);
+    // (c) Unnest relative paths in the range's where clauses.
+    UnnestWherePaths(flwr.get());
+    // (d) Change the range variable when the satisfies clause accesses the
+    //     bound variable through exactly one path (Q5: $b2/@year).
+    std::vector<AstPtr> paths;
+    bool only_paths = CollectVarPaths(q->satisfies, q->qvar, &paths);
+    if (only_paths && paths.size() == 1 && flwr->ret != nullptr &&
+        flwr->ret->kind == AstKind::kVarRef) {
+      const std::string range_var = flwr->ret->name;
+      // The path is rooted at the quantifier variable; re-root it at the
+      // range's return variable.
+      AstPtr rebased = paths[0]->Clone();
+      rebased->children[0] = MakeVarRef(range_var);
+      std::string fresh = FreshVar("q");
+      Clause value_clause;
+      value_clause.kind = Clause::Kind::kFor;
+      value_clause.var = fresh;
+      value_clause.expr = rebased;
+      flwr->clauses.push_back(std::move(value_clause));
+      flwr->ret = MakeVarRef(fresh);
+      q->satisfies = ReplacePath(q->satisfies, paths[0], q->qvar);
+    }
+    q->range = flwr;
+    return q;
+  });
+}
+
+namespace {
+
+/// Converts a (possibly predicated) path argument into an equivalent FLWR:
+///   $d//bidtuple[itemno = $i]  →
+///   for $f in $d//bidtuple where $f/itemno = $i return $f
+AstPtr PathArgToFlwr(const AstPtr& arg) {
+  auto sub = std::make_shared<Ast>();
+  sub->kind = AstKind::kFlwr;
+  std::string fresh = FreshVar(
+      arg->steps.empty() ? std::string("f") : arg->steps.back().name);
+  Clause for_clause;
+  for_clause.kind = Clause::Kind::kFor;
+  for_clause.var = fresh;
+  for_clause.expr = arg;
+  sub->clauses.push_back(std::move(for_clause));
+  sub->ret = MakeVarRef(fresh);
+  AstPtr hoisted = HoistPathPredicates(sub);
+  UnnestWherePaths(hoisted.get());
+  return hoisted;
+}
+
+bool PathHasPredicate(const AstPtr& e) {
+  if (e->kind != AstKind::kPathExpr) return false;
+  for (const PathStepAst& s : e->steps) {
+    if (s.predicate != nullptr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 2c: aggregate arguments that are predicated paths become FLWRs,
+// wherever they occur (let clauses, where clauses, return parts).
+// ---------------------------------------------------------------------------
+
+AstPtr NormalizeAggregateArgs(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFnCall || !IsAggregateFn(node->name) ||
+        node->children.size() != 1) {
+      return node;
+    }
+    if (!PathHasPredicate(node->children[0])) return node;
+    AstPtr call = std::make_shared<Ast>(*node);
+    call->children[0] = PathArgToFlwr(call->children[0]);
+    return call;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: aggregates in where clauses → let (the Q6 rewrite)
+// ---------------------------------------------------------------------------
+
+AstPtr HoistWhereAggregates(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    std::vector<Clause> out;
+    for (const Clause& c : flwr->clauses) {
+      if (c.kind != Clause::Kind::kWhere) {
+        out.push_back(c);
+        continue;
+      }
+      // Hoist aggregate calls whose argument is itself a query block.
+      std::vector<Clause> lets;
+      AstPtr pred = Transform(c.expr, [&](const AstPtr& e) -> AstPtr {
+        if (e->kind != AstKind::kFnCall || !IsAggregateFn(e->name) ||
+            e->children.size() != 1) {
+          return e;
+        }
+        if (!ContainsFlwrOrPredicatePath(e->children[0])) return e;
+        AstPtr call = std::make_shared<Ast>(*e);
+        // Path arguments become FLWRs first:
+        // count($d//bidtuple[itemno = $i1]) →
+        // count(for $f in $d//bidtuple where $f/itemno = $i1 return $f).
+        if (call->children[0]->kind == AstKind::kPathExpr) {
+          call->children[0] = PathArgToFlwr(call->children[0]);
+        }
+        std::string var = FreshVar("agg");
+        Clause let;
+        let.kind = Clause::Kind::kLet;
+        let.var = var;
+        let.expr = call;
+        lets.push_back(std::move(let));
+        return MakeVarRef(var);
+      });
+      for (Clause& let : lets) out.push_back(std::move(let));
+      Clause where;
+      where.kind = Clause::Kind::kWhere;
+      where.expr = pred;
+      out.push_back(std::move(where));
+    }
+    flwr->clauses = std::move(out);
+    return flwr;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: nested FLWRs in return clauses → let (the Q1 rewrite)
+// ---------------------------------------------------------------------------
+
+AstPtr HoistFromReturn(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr || node->ret == nullptr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    std::vector<Clause> lets;
+    // Recursive: nested constructors inside the return clause are walked
+    // too, so <r><min>{ FLWR }</min></r> hoists the inner block.
+    std::function<void(CtorPart&)> hoist_part = [&](CtorPart& part) {
+      if (part.is_literal || part.expr == nullptr) return;
+      if (part.expr->kind == AstKind::kElementCtor) {
+        AstPtr ctor = part.expr->Clone();
+        for (auto& [name, parts] : ctor->attributes) {
+          for (CtorPart& p : parts) hoist_part(p);
+        }
+        for (CtorPart& p : ctor->content) hoist_part(p);
+        part.expr = ctor;
+        return;
+      }
+      bool needs_hoist =
+          part.expr->kind == AstKind::kFlwr ||
+          (part.expr->kind == AstKind::kFnCall &&
+           IsAggregateFn(part.expr->name) &&
+           ContainsFlwrOrPredicatePath(part.expr));
+      if (!needs_hoist) return;
+      std::string var = FreshVar("t");
+      Clause let;
+      let.kind = Clause::Kind::kLet;
+      let.var = var;
+      let.expr = part.expr;
+      lets.push_back(std::move(let));
+      part.expr = MakeVarRef(var);
+    };
+    if (flwr->ret->kind == AstKind::kElementCtor) {
+      AstPtr ctor = flwr->ret->Clone();
+      for (auto& [name, parts] : ctor->attributes) {
+        for (CtorPart& p : parts) hoist_part(p);
+      }
+      for (CtorPart& p : ctor->content) hoist_part(p);
+      flwr->ret = ctor;
+    }
+    if (!lets.empty()) {
+      for (Clause& let : lets) flwr->clauses.push_back(std::move(let));
+    }
+    return flwr;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 5: let $v := FLWR … agg($v) (single use) → let $v := agg(FLWR)
+// ---------------------------------------------------------------------------
+
+AstPtr FoldLetAggregates(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr) return node;
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    for (size_t i = 0; i < flwr->clauses.size(); ++i) {
+      Clause& let = flwr->clauses[i];
+      if (let.kind != Clause::Kind::kLet || let.expr == nullptr ||
+          let.expr->kind != AstKind::kFlwr) {
+        continue;
+      }
+      // Count uses of the let variable; find the single aggregate use.
+      size_t uses = 0;
+      AstPtr* agg_site = nullptr;
+      std::function<void(AstPtr&)> scan = [&](AstPtr& e) {
+        if (e == nullptr) return;
+        if (e->kind == AstKind::kVarRef && e->name == let.var) {
+          ++uses;
+          return;
+        }
+        if (e->kind == AstKind::kFnCall && IsAggregateFn(e->name) &&
+            e->children.size() == 1 &&
+            e->children[0]->kind == AstKind::kVarRef &&
+            e->children[0]->name == let.var) {
+          ++uses;
+          agg_site = &e;
+          return;
+        }
+        for (AstPtr& c : e->children) scan(c);
+        for (PathStepAst& s : e->steps) scan(s.predicate);
+        for (Clause& c : e->clauses) scan(c.expr);
+        scan(e->ret);
+        scan(e->range);
+        scan(e->satisfies);
+        for (auto& [name, parts] : e->attributes) {
+          for (CtorPart& p : parts) scan(p.expr);
+        }
+        for (CtorPart& p : e->content) scan(p.expr);
+      };
+      for (size_t j = i + 1; j < flwr->clauses.size(); ++j) {
+        scan(flwr->clauses[j].expr);
+      }
+      scan(flwr->ret);
+      if (uses == 1 && agg_site != nullptr) {
+        AstPtr call = std::make_shared<Ast>(**agg_site);
+        call->children[0] = let.expr;
+        let.expr = call;
+        *agg_site = MakeVarRef(let.var);
+      }
+    }
+    return flwr;
+  });
+}
+
+AstPtr NormalizeFlwrReturns(const AstPtr& query) {
+  return Transform(query, [](const AstPtr& node) -> AstPtr {
+    if (node->kind != AstKind::kFlwr || node->ret == nullptr) return node;
+    if (node->ret->kind == AstKind::kVarRef ||
+        node->ret->kind == AstKind::kElementCtor) {
+      return node;
+    }
+    // The paper's Q1 normalization: `return $b2/title` becomes
+    // `let $t2 := $b2/title ... return $t2`.
+    AstPtr flwr = std::make_shared<Ast>(*node);
+    std::string var = FreshVar("r");
+    Clause let;
+    let.kind = Clause::Kind::kLet;
+    let.var = var;
+    let.expr = flwr->ret;
+    flwr->clauses.push_back(std::move(let));
+    flwr->ret = MakeVarRef(var);
+    return flwr;
+  });
+}
+
+AstPtr Normalize(const AstPtr& query) {
+  AstPtr out = InlineDocLets(query);
+  out = HoistPathPredicates(out);
+  out = NormalizeQuantifiers(out);
+  out = NormalizeAggregateArgs(out);
+  out = HoistWhereAggregates(out);
+  out = BindWherePaths(out);
+  out = HoistFromReturn(out);
+  out = FoldLetAggregates(out);
+  out = NormalizeFlwrReturns(out);
+  return out;
+}
+
+}  // namespace nalq::xquery

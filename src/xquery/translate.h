@@ -1,0 +1,37 @@
+// Translation of normalized XQuery ASTs into NAL algebra (paper Fig. 3).
+//
+// The mutually recursive binary/unary T functions become TranslateFlwr /
+// TranslateScalar. Nested query blocks turn into nested algebraic
+// expressions inside χ subscripts (let) and quantifier ranges (where) —
+// exactly the shapes the unnesting equivalences of Sec. 4 consume.
+//
+// Like the paper, the translator uses the DTD to decide whether a let-bound
+// path is a singleton (then no e[a'] tuple construction is needed, Sec. 3)
+// and whether `=` must be given existential (∈) semantics.
+#ifndef NALQ_XQUERY_TRANSLATE_H_
+#define NALQ_XQUERY_TRANSLATE_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "nal/algebra.h"
+#include "xml/dtd.h"
+#include "xquery/ast.h"
+
+namespace nalq::xquery {
+
+class TranslateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Translates a normalized top-level query (a FLWR whose return clause
+/// constructs the result). Returns the complete plan ending in a Ξ operator.
+/// `dtds` may be null (then every path is treated as potentially
+/// multi-valued).
+nal::AlgebraPtr Translate(const AstPtr& normalized_query,
+                          const xml::DtdRegistry* dtds);
+
+}  // namespace nalq::xquery
+
+#endif  // NALQ_XQUERY_TRANSLATE_H_

@@ -1,0 +1,353 @@
+// Operator-level evaluator tests, including the paper's running examples:
+// Figure 1 (map operator over R1/R2) and Figure 2 (unary/binary Γ).
+#include <gtest/gtest.h>
+
+#include "nal/eval.h"
+#include "nal/printer.h"
+#include "test_util.h"
+#include "xml/store.h"
+
+namespace nalq::nal {
+namespace {
+
+using testutil::I;
+using testutil::S;
+using testutil::SeqEq;
+using testutil::T;
+using testutil::Table;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : eval_(store_) {}
+
+  /// R1 and R2 from the paper's Figures 1/2.
+  Sequence R1() {
+    Sequence s;
+    s.Append(T({{"A1", I(1)}}));
+    s.Append(T({{"A1", I(2)}}));
+    s.Append(T({{"A1", I(3)}}));
+    return s;
+  }
+  Sequence R2() {
+    Sequence s;
+    s.Append(T({{"A2", I(1)}, {"B", I(2)}}));
+    s.Append(T({{"A2", I(1)}, {"B", I(3)}}));
+    s.Append(T({{"A2", I(2)}, {"B", I(4)}}));
+    s.Append(T({{"A2", I(2)}, {"B", I(5)}}));
+    return s;
+  }
+
+  Sequence Eval(const AlgebraPtr& plan) { return eval_.Eval(*plan); }
+
+  xml::Store store_;
+  Evaluator eval_;
+};
+
+// --- Figure 1: χ_{a:σ_{A1=A2}(R2)}(R1) -----------------------------------
+
+TEST_F(EvalTest, Figure1MapWithNestedSelection) {
+  AlgebraPtr plan = Map(
+      Symbol("a"),
+      MakeNestedAlg(Select(MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A1")),
+                                   MakeAttrRef(Symbol("A2"))),
+                           Table(R2()))),
+      Table(R1()));
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 3u);
+  // a for A1=1 is <[1,2],[1,3]>.
+  const Sequence& g1 = out[0].Get(Symbol("a")).AsTuples();
+  ASSERT_EQ(g1.size(), 2u);
+  EXPECT_EQ(g1[0].Get(Symbol("B")).AsInt(), 2);
+  EXPECT_EQ(g1[1].Get(Symbol("B")).AsInt(), 3);
+  // a for A1=2 is <[2,4],[2,5]>.
+  EXPECT_EQ(out[1].Get(Symbol("a")).AsTuples().size(), 2u);
+  // a for A1=3 is the empty sequence (NOT a missing row — the count bug).
+  EXPECT_EQ(out[2].Get(Symbol("a")).AsTuples().size(), 0u);
+}
+
+// --- Figure 2: Γ examples -----------------------------------------------
+
+TEST_F(EvalTest, Figure2UnaryGroupCount) {
+  // Γ_{g;=A2;count}(R2) = {[1,2],[2,2]}.
+  AlgebraPtr plan =
+      GroupUnary(Symbol("g"), CmpOp::kEq, {Symbol("A2")}, AggCount(),
+                 Table(R2()));
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Get(Symbol("A2")).AsInt(), 1);
+  EXPECT_EQ(out[0].Get(Symbol("g")).AsInt(), 2);
+  EXPECT_EQ(out[1].Get(Symbol("A2")).AsInt(), 2);
+  EXPECT_EQ(out[1].Get(Symbol("g")).AsInt(), 2);
+}
+
+TEST_F(EvalTest, Figure2UnaryGroupId) {
+  // Γ_{g;=A2;id}(R2): groups contain the original tuples in input order.
+  AlgebraPtr plan = GroupUnary(Symbol("g"), CmpOp::kEq, {Symbol("A2")},
+                               AggId(), Table(R2()));
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 2u);
+  const Sequence& g1 = out[0].Get(Symbol("g")).AsTuples();
+  ASSERT_EQ(g1.size(), 2u);
+  EXPECT_EQ(g1[0].Get(Symbol("B")).AsInt(), 2);
+  EXPECT_EQ(g1[1].Get(Symbol("B")).AsInt(), 3);
+}
+
+TEST_F(EvalTest, Figure2BinaryGroupIncludesEmptyGroup) {
+  // R1 Γ_{g;A1=A2;id} R2: A1=3 gets the empty group.
+  AlgebraPtr plan =
+      GroupBinary(Symbol("g"), {Symbol("A1")}, CmpOp::kEq, {Symbol("A2")},
+                  AggId(), Table(R1()), Table(R2()));
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Get(Symbol("g")).AsTuples().size(), 2u);
+  EXPECT_EQ(out[1].Get(Symbol("g")).AsTuples().size(), 2u);
+  EXPECT_EQ(out[2].Get(Symbol("g")).AsTuples().size(), 0u);
+}
+
+TEST_F(EvalTest, UnnestInvertsGrouping) {
+  // μ_g(Γ_{g;=A2;id}(R2)) = R2 (paper: μg(Rg2) = R2).
+  AlgebraPtr plan = Unnest(
+      Symbol("g"),
+      GroupUnary(Symbol("g"), CmpOp::kEq, {Symbol("A2")}, AggId(),
+                 Table(R2())),
+      /*distinct=*/false, /*outer=*/false);
+  EXPECT_TRUE(SeqEq(R2(), Eval(plan)));
+}
+
+// --- basic operators ------------------------------------------------------
+
+TEST_F(EvalTest, SingletonYieldsOneEmptyTuple) {
+  Sequence out = Eval(Singleton());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+TEST_F(EvalTest, SelectPreservesOrder) {
+  AlgebraPtr plan = Select(
+      MakeCmp(CmpOp::kGe, MakeAttrRef(Symbol("B")), MakeConst(I(3))),
+      Table(R2()));
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Get(Symbol("B")).AsInt(), 3);
+  EXPECT_EQ(out[1].Get(Symbol("B")).AsInt(), 4);
+  EXPECT_EQ(out[2].Get(Symbol("B")).AsInt(), 5);
+}
+
+TEST_F(EvalTest, ProjectKeepDropRename) {
+  AlgebraPtr keep = ProjectKeep({Symbol("B")}, Table(R2()));
+  EXPECT_FALSE(Eval(keep)[0].Has(Symbol("A2")));
+  AlgebraPtr drop = ProjectDrop({Symbol("B")}, Table(R2()));
+  EXPECT_FALSE(Eval(drop)[0].Has(Symbol("B")));
+  EXPECT_TRUE(Eval(drop)[0].Has(Symbol("A2")));
+  AlgebraPtr rename = ProjectRename({{Symbol("Z"), Symbol("A2")}}, Table(R2()));
+  Sequence out = Eval(rename);
+  EXPECT_TRUE(out[0].Has(Symbol("Z")));
+  EXPECT_TRUE(out[0].Has(Symbol("B")));  // rename-only keeps the rest
+  EXPECT_FALSE(out[0].Has(Symbol("A2")));
+}
+
+TEST_F(EvalTest, ProjectDistinctIsDeterministicAndIdempotent) {
+  AlgebraPtr plan = ProjectDistinct({Symbol("A2")}, Table(R2()));
+  Sequence once = Eval(plan);
+  ASSERT_EQ(once.size(), 2u);
+  EXPECT_EQ(once[0].Get(Symbol("A2")).AsInt(), 1);  // first occurrence first
+  EXPECT_EQ(once[1].Get(Symbol("A2")).AsInt(), 2);
+  // Idempotent: ΠD over its own output is the identity.
+  AlgebraPtr twice = ProjectDistinct({Symbol("A2")}, plan);
+  EXPECT_TRUE(SeqEq(once, Eval(twice)));
+}
+
+TEST_F(EvalTest, CrossProductLeftMajorOrder) {
+  Sequence l;
+  l.Append(T({{"x", I(1)}}));
+  l.Append(T({{"x", I(2)}}));
+  Sequence r;
+  r.Append(T({{"y", S("a")}}));
+  r.Append(T({{"y", S("b")}}));
+  Sequence out = Eval(Cross(Table(l), Table(r)));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].Get(Symbol("x")).AsInt(), 1);
+  EXPECT_EQ(out[0].Get(Symbol("y")).AsString(), "a");
+  EXPECT_EQ(out[1].Get(Symbol("y")).AsString(), "b");
+  EXPECT_EQ(out[2].Get(Symbol("x")).AsInt(), 2);
+}
+
+TEST_F(EvalTest, JoinMatchesSelectionOverCross) {
+  auto pred = [] {
+    return MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A1")),
+                   MakeAttrRef(Symbol("A2")));
+  };
+  Sequence join = Eval(Join(pred(), Table(R1()), Table(R2())));
+  Sequence reference = Eval(Select(pred(), Cross(Table(R1()), Table(R2()))));
+  EXPECT_TRUE(SeqEq(reference, join));
+  ASSERT_EQ(join.size(), 4u);
+}
+
+TEST_F(EvalTest, JoinFallsBackToNestedLoopForTheta) {
+  AlgebraPtr plan = Join(
+      MakeCmp(CmpOp::kLt, MakeAttrRef(Symbol("A1")),
+              MakeAttrRef(Symbol("A2"))),
+      Table(R1()), Table(R2()));
+  Sequence out = Eval(plan);
+  // A1=1 < A2=2 (two tuples); others: none.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(EvalTest, SemiAndAntiJoinPartitionLeft) {
+  auto pred = [] {
+    return MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A1")),
+                   MakeAttrRef(Symbol("A2")));
+  };
+  Sequence semi = Eval(SemiJoin(pred(), Table(R1()), Table(R2())));
+  Sequence anti = Eval(AntiJoin(pred(), Table(R1()), Table(R2())));
+  ASSERT_EQ(semi.size(), 2u);
+  ASSERT_EQ(anti.size(), 1u);
+  EXPECT_EQ(anti[0].Get(Symbol("A1")).AsInt(), 3);
+  // Semijoin output carries only left attributes.
+  EXPECT_FALSE(semi[0].Has(Symbol("B")));
+}
+
+TEST_F(EvalTest, OuterJoinEmitsDefaultAndNulls) {
+  AlgebraPtr grouped = GroupUnary(Symbol("g"), CmpOp::kEq, {Symbol("A2")},
+                                  AggCount(), Table(R2()));
+  AlgebraPtr plan = OuterJoin(
+      MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A1")),
+              MakeAttrRef(Symbol("A2"))),
+      Symbol("g"), MakeConst(I(0)), Table(R1()), grouped);
+  Sequence out = Eval(plan);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Get(Symbol("g")).AsInt(), 2);
+  EXPECT_EQ(out[2].Get(Symbol("A1")).AsInt(), 3);
+  EXPECT_EQ(out[2].Get(Symbol("g")).AsInt(), 0);       // the default e
+  EXPECT_TRUE(out[2].Get(Symbol("A2")).is_null());     // ⊥ for A(e2)\{g}
+  EXPECT_TRUE(out[2].Has(Symbol("A2")));
+}
+
+TEST_F(EvalTest, UnnestOuterEmitsBottomTuple) {
+  // μ with the paper's ⊥ convention: an empty nested sequence produces one
+  // tuple with the nested attributes set to NULL.
+  Sequence in;
+  Sequence inner;
+  inner.Append(T({{"b", I(1)}}));
+  in.Append(T({{"a", I(1)}, {"g", Value::FromTuples(inner)}}));
+  in.Append(T({{"a", I(2)}, {"g", Value::FromTuples(Sequence())}}));
+  AlgebraPtr grouped = GroupBinary(Symbol("g"), {Symbol("a")}, CmpOp::kEq,
+                                   {Symbol("b")}, AggId(), Table(in),
+                                   Table(Sequence()));
+  // Direct test of Unnest on the literal input.
+  AlgebraPtr outer = Unnest(Symbol("g"), Table(in), false, /*outer=*/true);
+  Sequence out = Eval(outer);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Get(Symbol("b")).AsInt(), 1);
+  EXPECT_EQ(out[1].Get(Symbol("a")).AsInt(), 2);
+  AlgebraPtr plain = Unnest(Symbol("g"), Table(in), false, /*outer=*/false);
+  EXPECT_EQ(Eval(plain).size(), 1u);
+  (void)grouped;
+}
+
+TEST_F(EvalTest, UnnestDistinctDeduplicatesByValue) {
+  Sequence inner;
+  inner.Append(T({{"b", I(1)}}));
+  inner.Append(T({{"b", I(1)}}));
+  inner.Append(T({{"b", I(2)}}));
+  Sequence in;
+  in.Append(T({{"a", I(1)}, {"g", Value::FromTuples(inner)}}));
+  AlgebraPtr mu_d = Unnest(Symbol("g"), Table(in), /*distinct=*/true, false);
+  Sequence out = Eval(mu_d);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Get(Symbol("b")).AsInt(), 1);
+  EXPECT_EQ(out[1].Get(Symbol("b")).AsInt(), 2);
+}
+
+TEST_F(EvalTest, SortIsStable) {
+  Sequence in;
+  in.Append(T({{"k", I(2)}, {"v", I(1)}}));
+  in.Append(T({{"k", I(1)}, {"v", I(2)}}));
+  in.Append(T({{"k", I(2)}, {"v", I(3)}}));
+  in.Append(T({{"k", I(1)}, {"v", I(4)}}));
+  Sequence out = Eval(SortBy({Symbol("k")}, Table(in)));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].Get(Symbol("v")).AsInt(), 2);
+  EXPECT_EQ(out[1].Get(Symbol("v")).AsInt(), 4);  // stable within k=1
+  EXPECT_EQ(out[2].Get(Symbol("v")).AsInt(), 1);
+  EXPECT_EQ(out[3].Get(Symbol("v")).AsInt(), 3);
+}
+
+TEST_F(EvalTest, XiSimpleWritesOutputAndIsIdentity) {
+  Sequence in;
+  in.Append(T({{"a", S("x")}}));
+  in.Append(T({{"a", S("y")}}));
+  XiProgram program = {XiCommand::Literal("<v>"), XiCommand::Var(Symbol("a")),
+                       XiCommand::Literal("</v>")};
+  AlgebraPtr plan = XiSimple(program, Table(in));
+  Sequence out = Eval(plan);
+  EXPECT_TRUE(SeqEq(in, out));
+  EXPECT_EQ(eval_.output(), "<v>x</v><v>y</v>");
+}
+
+TEST_F(EvalTest, XiGroupMatchesPaperExample) {
+  // The author/title example of Sec. 2.
+  Sequence in;
+  in.Append(T({{"a", S("author1")}, {"t", S("title1")}}));
+  in.Append(T({{"a", S("author1")}, {"t", S("title2")}}));
+  in.Append(T({{"a", S("author2")}, {"t", S("title1")}}));
+  in.Append(T({{"a", S("author2")}, {"t", S("title3")}}));
+  XiProgram s1 = {XiCommand::Literal("<author><name>"),
+                  XiCommand::Var(Symbol("a")),
+                  XiCommand::Literal("</name>")};
+  XiProgram s2 = {XiCommand::Literal("<title>"), XiCommand::Var(Symbol("t")),
+                  XiCommand::Literal("</title>")};
+  XiProgram s3 = {XiCommand::Literal("</author>")};
+  AlgebraPtr plan = XiGroup(s1, {Symbol("a")}, s2, s3, Table(in));
+  Eval(plan);
+  EXPECT_EQ(eval_.output(),
+            "<author><name>author1</name><title>title1</title>"
+            "<title>title2</title></author>"
+            "<author><name>author2</name><title>title1</title>"
+            "<title>title3</title></author>");
+}
+
+TEST_F(EvalTest, CommonSubexpressionEvaluatedOnce) {
+  Sequence in;
+  in.Append(T({{"a", I(1)}}));
+  AlgebraPtr shared = Table(in);
+  shared->cse_id = 42;
+  AlgebraPtr plan = Cross(shared, shared);
+  Sequence out = Eval(plan);
+  EXPECT_EQ(out.size(), 1u);
+  // Re-running after Eval clears the cache (fresh run).
+  EXPECT_EQ(eval_.Eval(*plan).size(), 1u);
+}
+
+TEST_F(EvalTest, FamiliarEquivalencesStillHold) {
+  // The Sec. 2 list: selections commute, push into joins, associativity.
+  auto p1 = [] {
+    return MakeCmp(CmpOp::kGe, MakeAttrRef(Symbol("B")), MakeConst(I(3)));
+  };
+  auto p2 = [] {
+    return MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A2")), MakeConst(I(2)));
+  };
+  // σ_{p1}(σ_{p2}(e)) = σ_{p2}(σ_{p1}(e)).
+  EXPECT_TRUE(SeqEq(Eval(Select(p1(), Select(p2(), Table(R2())))),
+                    Eval(Select(p2(), Select(p1(), Table(R2()))))));
+  // σ_{p1}(e1 × e2) = e1 × σ_{p1}(e2) when p1 only touches e2.
+  EXPECT_TRUE(SeqEq(Eval(Select(p1(), Cross(Table(R1()), Table(R2())))),
+                    Eval(Cross(Table(R1()), Select(p1(), Table(R2()))))));
+  // (e1 × e2) × e3 = e1 × (e2 × e3).
+  Sequence r3;
+  r3.Append(T({{"z", I(7)}}));
+  EXPECT_TRUE(SeqEq(
+      Eval(Cross(Cross(Table(R1()), Table(R2())), Table(r3))),
+      Eval(Cross(Table(R1()), Cross(Table(R2()), Table(r3))))));
+}
+
+TEST_F(EvalTest, StatsCountTuplesAndPredicates) {
+  eval_.stats().Reset();
+  Eval(Select(MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A1")), MakeConst(I(1))),
+              Table(R1())));
+  EXPECT_GT(eval_.stats().tuples_produced, 0u);
+  EXPECT_EQ(eval_.stats().predicate_evals, 3u);
+}
+
+}  // namespace
+}  // namespace nalq::nal

@@ -1,0 +1,143 @@
+// Tests for the language extensions beyond the paper's core: arithmetic,
+// if/then/else, and the order by clause (which the paper explicitly leaves
+// out and which compiles to the stable Sort operator).
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+
+namespace nalq {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.AddDocument("shop.xml", R"(<shop>
+      <item><name>pen</name><price>2</price><qty>10</qty></item>
+      <item><name>ink</name><price>8</price><qty>3</qty></item>
+      <item><name>pad</name><price>5</price><qty>3</qty></item>
+      <item><name>cap</name><price>2</price><qty>7</qty></item>
+    </shop>)");
+  }
+
+  std::string Run(const char* query) {
+    return engine_.RunQuery(query).output;
+  }
+
+  engine::Engine engine_;
+};
+
+TEST_F(ExtensionsTest, ArithmeticInWhere) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    where $i/price * $i/qty >= 20
+    return <x>{ $i/name }</x>)"),
+            "<x><name>pen</name></x><x><name>ink</name></x>");
+}
+
+TEST_F(ExtensionsTest, ArithmeticOperatorsAndPrecedence) {
+  // 2 + 3 * 4 = 14 (not 20); div and mod.
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    where $i/name = "pen"
+    return <x>{ 2 + 3 * 4 }</x>)"),
+            "<x>14</x>");
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    where $i/name = "pen"
+    return <x>{ 7 div 2 }:{ 7 mod 2 }</x>)"),
+            "<x>3.5:1</x>");
+}
+
+TEST_F(ExtensionsTest, UnaryMinus) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    where $i/name = "pen"
+    return <x>{ -3 + 5 }</x>)"),
+            "<x>2</x>");
+}
+
+TEST_F(ExtensionsTest, ArithmeticOnNonNumbersIsEmpty) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    where $i/name = "pen"
+    return <x>{ $i/name + 1 }</x>)"),
+            "<x></x>");
+}
+
+TEST_F(ExtensionsTest, Conditional) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    return <x>{ if ($i/price > 4) then "dear" else "cheap" }</x>)"),
+            "<x>cheap</x><x>dear</x><x>dear</x><x>cheap</x>");
+}
+
+TEST_F(ExtensionsTest, OrderByAscending) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    order by $i/name
+    return <x>{ $i/name }</x>)"),
+            "<x><name>cap</name></x><x><name>ink</name></x>"
+            "<x><name>pad</name></x><x><name>pen</name></x>");
+}
+
+TEST_F(ExtensionsTest, OrderByNumericDescending) {
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    order by decimal($i/price) descending
+    return <x>{ $i/name }</x>)"),
+            "<x><name>ink</name></x><x><name>pad</name></x>"
+            "<x><name>pen</name></x><x><name>cap</name></x>");
+}
+
+TEST_F(ExtensionsTest, OrderByIsStableAndSupportsMultipleKeys) {
+  // Equal prices keep document order under a stable single-key sort...
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    stable order by decimal($i/price)
+    return <x>{ $i/name }</x>)"),
+            "<x><name>pen</name></x><x><name>cap</name></x>"
+            "<x><name>pad</name></x><x><name>ink</name></x>");
+  // ... and a second key breaks the tie explicitly.
+  EXPECT_EQ(Run(R"(
+    for $i in doc("shop.xml")//item
+    order by decimal($i/price), $i/name descending
+    return <x>{ $i/name }</x>)"),
+            "<x><name>pen</name></x><x><name>cap</name></x>"
+            "<x><name>pad</name></x><x><name>ink</name></x>");
+}
+
+TEST_F(ExtensionsTest, OrderByKeysDoNotLeakIntoOutput) {
+  // The sort-key attributes are projected away before Ξ.
+  engine::CompiledQuery q = engine_.Compile(R"(
+    for $i in doc("shop.xml")//item
+    order by $i/name
+    return <x>{ $i/name }</x>)");
+  nal::AttrInfo info = nal::OutputAttrs(*q.nested_plan);
+  for (nal::Symbol a : info.attrs) {
+    EXPECT_EQ(std::string(a.str()).find("sortkey"), std::string::npos);
+  }
+}
+
+TEST_F(ExtensionsTest, OrderByComposesWithUnnesting) {
+  // order by on the outer block must not break the unnesting rewrites of
+  // the nested block (the Sort sits above the rewritten site).
+  engine_.AddDocument("bib.xml", datagen::GenerateBib({}));
+  engine_.RegisterDtd("bib.xml", datagen::kBibDtd);
+  engine::CompiledQuery q = engine_.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    order by $a1 descending
+    return <author><name>{ $a1 }</name>{
+      let $d2 := doc("bib.xml")
+      for $b2 in $d2//book[$a1 = author]
+      return $b2/title }</author>)");
+  ASSERT_NE(q.Find("eqv4-outerjoin"), nullptr);
+  std::string nested = engine_.Run(q.nested_plan).output;
+  std::string unnested = engine_.Run(q.Find("eqv4-outerjoin")->plan).output;
+  EXPECT_EQ(nested, unnested);
+  EXPECT_FALSE(nested.empty());
+}
+
+}  // namespace
+}  // namespace nalq

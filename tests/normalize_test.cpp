@@ -1,0 +1,208 @@
+// Tests for the source-level normalization passes (paper Sec. 3).
+#include <gtest/gtest.h>
+
+#include "xquery/normalize.h"
+#include "xquery/parser.h"
+
+namespace nalq::xquery {
+namespace {
+
+/// True iff the FLWR has a clause of `kind` whose expression's textual form
+/// contains `needle`.
+bool HasClause(const AstPtr& flwr, Clause::Kind kind,
+               const std::string& needle) {
+  for (const Clause& c : flwr->clauses) {
+    if (c.kind == kind && c.expr != nullptr &&
+        c.expr->ToString().find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(InlineDocLetsTest, SubstitutesAndRemovesLet) {
+  AstPtr q = ParseQuery(
+      R"(let $d := doc("bib.xml") for $b in $d//book return <r>{ $b }</r>)");
+  AstPtr out = InlineDocLets(q);
+  ASSERT_EQ(out->clauses.size(), 1u);
+  EXPECT_EQ(out->clauses[0].kind, Clause::Kind::kFor);
+  EXPECT_NE(out->clauses[0].expr->ToString().find("doc(\"bib.xml\")"),
+            std::string::npos);
+}
+
+TEST(InlineDocLetsTest, ReachesNestedBlocks) {
+  AstPtr q = ParseQuery(R"(
+    let $d := doc("bib.xml")
+    for $a in distinct-values($d//author)
+    return <r>{ let $t := (for $b in $d//book return $b/title)
+                return $t }</r>)");
+  AstPtr out = InlineDocLets(q);
+  // The nested FLWR (inside the return) must reference doc(...) directly.
+  std::string text = out->ToString();
+  EXPECT_EQ(text.find("$d/"), std::string::npos) << text;
+}
+
+TEST(HoistPathPredicatesTest, MovesFinalStepPredicateToWhere) {
+  AstPtr q = ParseQuery(
+      R"(for $b in doc("b.xml")//book[author = $a1] return <r>{ $b }</r>)");
+  AstPtr out = HoistPathPredicates(q);
+  ASSERT_EQ(out->clauses.size(), 2u);
+  EXPECT_EQ(out->clauses[1].kind, Clause::Kind::kWhere);
+  // The context-relative path is rebased onto $b.
+  EXPECT_NE(out->clauses[1].expr->ToString().find("$b/author"),
+            std::string::npos);
+  // The for range lost its predicate.
+  EXPECT_EQ(out->clauses[0].expr->steps.back().predicate, nullptr);
+}
+
+TEST(BindWherePathsTest, IntroducesLetForPathOperand) {
+  AstPtr q = ParseQuery(
+      R"(for $b in doc("b.xml")//book where $a1 = $b/author
+         return <r>{ $b }</r>)");
+  AstPtr out = BindWherePaths(q);
+  // A let for $b/author appears before the where.
+  bool found_let = false;
+  for (size_t i = 0; i < out->clauses.size(); ++i) {
+    if (out->clauses[i].kind == Clause::Kind::kLet &&
+        out->clauses[i].expr->ToString() == "$b/author") {
+      found_let = true;
+      // The following where references the fresh variable.
+      ASSERT_LT(i + 1, out->clauses.size());
+      EXPECT_EQ(out->clauses[i + 1].kind, Clause::Kind::kWhere);
+      EXPECT_EQ(out->clauses[i + 1].expr->ToString().find("$b/author"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found_let);
+}
+
+TEST(NormalizeQuantifiersTest, EmbedsRangeIntoFlwr) {
+  AstPtr q = ParseQuery(R"(
+    for $t in doc("b.xml")//title
+    where some $t2 in doc("r.xml")//entry/title satisfies $t = $t2
+    return <r>{ $t }</r>)");
+  AstPtr out = NormalizeQuantifiers(q);
+  const Ast& quant = *out->clauses[1].expr;
+  ASSERT_EQ(quant.kind, AstKind::kQuantified);
+  ASSERT_EQ(quant.range->kind, AstKind::kFlwr);
+  EXPECT_EQ(quant.range->ret->kind, AstKind::kVarRef);
+  EXPECT_EQ(quant.range->ret->name, "t2");
+}
+
+TEST(NormalizeQuantifiersTest, ChangesRangeVariableForSatisfiesPath) {
+  // The Q5 rewrite: the range must return the @year values and the
+  // satisfies clause must test the bound variable directly.
+  AstPtr q = ParseQuery(R"(
+    for $a in distinct-values(doc("b.xml")//author)
+    where every $b in doc("b.xml")//book[author = $a]
+          satisfies $b/@year > 1993
+    return <r>{ $a }</r>)");
+  AstPtr out = NormalizeQuantifiers(q);
+  const Ast& quant = *out->clauses[1].expr;
+  // satisfies references $b directly now (no path).
+  EXPECT_EQ(quant.satisfies->ToString().find("@year"), std::string::npos);
+  // The range FLWR gained a for over @year and returns its variable.
+  std::string range_text = quant.range->ToString();
+  EXPECT_NE(range_text.find("@year"), std::string::npos);
+  // The correlation was unnested into a for over authors.
+  EXPECT_NE(range_text.find("author"), std::string::npos);
+}
+
+TEST(HoistWhereAggregatesTest, TheQ6Rewrite) {
+  AstPtr q = ParseQuery(R"(
+    for $i in distinct-values(doc("bids.xml")//itemno)
+    where count(doc("bids.xml")//bidtuple[itemno = $i]) >= 3
+    return <r>{ $i }</r>)");
+  AstPtr out = HoistWhereAggregates(q);
+  // A let $agg_n := count(FLWR) clause appears...
+  bool found = false;
+  for (const Clause& c : out->clauses) {
+    if (c.kind == Clause::Kind::kLet && c.expr->kind == AstKind::kFnCall &&
+        c.expr->name == "count" &&
+        c.expr->children[0]->kind == AstKind::kFlwr) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // ... and the where now compares a variable.
+  const Clause& where = out->clauses.back();
+  ASSERT_EQ(where.kind, Clause::Kind::kWhere);
+  EXPECT_EQ(where.expr->children[0]->kind, AstKind::kVarRef);
+}
+
+TEST(HoistFromReturnTest, NestedFlwrBecomesLet) {
+  AstPtr q = ParseQuery(R"(
+    for $a in distinct-values(doc("b.xml")//author)
+    return <author>{ for $b in doc("b.xml")//book return $b/title }</author>)");
+  AstPtr out = HoistFromReturn(q);
+  EXPECT_TRUE(HasClause(out, Clause::Kind::kLet, "for $b"));
+  // The constructor content now references a variable.
+  const Ast& ctor = *out->ret;
+  ASSERT_FALSE(ctor.content.empty());
+  EXPECT_EQ(ctor.content[0].expr->kind, AstKind::kVarRef);
+}
+
+TEST(FoldLetAggregatesTest, SingleAggregateUseFolds) {
+  AstPtr q = ParseQuery(R"(
+    for $t in distinct-values(doc("p.xml")//title)
+    let $p := (for $b in doc("p.xml")//book return $b/price)
+    return <m>{ min($p) }</m>)");
+  AstPtr out = FoldLetAggregates(q);
+  // let now binds min(FLWR)...
+  bool folded = false;
+  for (const Clause& c : out->clauses) {
+    if (c.kind == Clause::Kind::kLet && c.expr->kind == AstKind::kFnCall &&
+        c.expr->name == "min") {
+      folded = true;
+    }
+  }
+  EXPECT_TRUE(folded);
+  // ... and the return references the bare variable.
+  EXPECT_EQ(out->ret->ToString().find("min("), std::string::npos);
+}
+
+TEST(FoldLetAggregatesTest, MultipleUsesDoNotFold) {
+  AstPtr q = ParseQuery(R"(
+    for $t in distinct-values(doc("p.xml")//title)
+    let $p := (for $b in doc("p.xml")//book return $b/price)
+    return <m a="{ count($p) }">{ min($p) }</m>)");
+  AstPtr out = FoldLetAggregates(q);
+  for (const Clause& c : out->clauses) {
+    if (c.kind == Clause::Kind::kLet) {
+      EXPECT_EQ(c.expr->kind, AstKind::kFlwr);  // unchanged
+    }
+  }
+}
+
+TEST(NormalizeFlwrReturnsTest, PathReturnGetsLet) {
+  AstPtr q = ParseQuery("for $b in doc(\"b.xml\")//book return $b/title");
+  AstPtr out = NormalizeFlwrReturns(q);
+  EXPECT_EQ(out->ret->kind, AstKind::kVarRef);
+  EXPECT_TRUE(HasClause(out, Clause::Kind::kLet, "$b/title"));
+}
+
+TEST(RebaseContextTest, SubstitutesContextItem) {
+  AstPtr pred = ParseQuery("for $x in $d//a where itemno = $i return $x")
+                    ->clauses[1]
+                    .expr;
+  AstPtr rebased = RebaseContext(pred, "f");
+  EXPECT_EQ(rebased->ToString(), "$f/itemno = $i");
+}
+
+TEST(NormalizeTest, FullPipelineIsStableOnSimpleQueries) {
+  AstPtr q = ParseQuery(
+      "for $b in doc(\"b.xml\")//book return <r>{ $b }</r>");
+  AstPtr once = Normalize(q);
+  // The pipeline must be idempotent on already-normalized queries.
+  AstPtr twice = Normalize(once);
+  EXPECT_EQ(once->ToString(), twice->ToString());
+}
+
+TEST(FreshVarTest, NamesAreUnique) {
+  std::string a = FreshVar("x");
+  std::string b = FreshVar("x");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace nalq::xquery

@@ -1,0 +1,175 @@
+// Edge-case and failure-path coverage across modules: empty documents,
+// empty operator inputs, evaluator error paths, degenerate queries.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "nal/reference.h"
+#include "test_util.h"
+
+namespace nalq {
+namespace {
+
+using nal::CmpOp;
+using nal::Sequence;
+using nal::Symbol;
+using testutil::I;
+using testutil::T;
+using testutil::Table;
+
+TEST(RobustnessTest, EmptyDocumentsYieldEmptyResultsOnEveryPlan) {
+  engine::Engine engine;
+  engine.AddDocument("bib.xml", "<bib/>");
+  engine.RegisterDtd("bib.xml", datagen::kBibDtd);
+  engine::CompiledQuery q = engine.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return <author>{
+      let $d2 := doc("bib.xml")
+      for $b2 in $d2//book[$a1 = author]
+      return $b2/title }</author>)");
+  EXPECT_GE(q.alternatives.size(), 3u);
+  for (const rewrite::Alternative& alt : q.alternatives) {
+    EXPECT_TRUE(engine.Run(alt.plan).output.empty()) << alt.rule;
+  }
+}
+
+TEST(RobustnessTest, SingleBookDocument) {
+  engine::Engine engine;
+  datagen::BibOptions bib;
+  bib.books = 1;
+  bib.authors_per_book = 1;
+  engine.AddDocument("bib.xml", datagen::GenerateBib(bib));
+  engine.RegisterDtd("bib.xml", datagen::kBibDtd);
+  engine::CompiledQuery q = engine.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return <a>{ $a1 }</a>)");
+  std::string reference = engine.Run(q.nested_plan).output;
+  for (const rewrite::Alternative& alt : q.alternatives) {
+    EXPECT_EQ(engine.Run(alt.plan).output, reference) << alt.rule;
+  }
+  EXPECT_NE(reference.find("<a>"), std::string::npos);
+}
+
+TEST(RobustnessTest, ThetaGroupingRequiresSingleAttribute) {
+  xml::Store store;
+  nal::Evaluator ev(store);
+  Sequence rows;
+  rows.Append(T({{"a", I(1)}, {"b", I(2)}}));
+  auto plan = nal::GroupUnary(Symbol("g"), CmpOp::kLt,
+                              {Symbol("a"), Symbol("b")}, nal::AggCount(),
+                              Table(rows));
+  EXPECT_THROW(ev.Eval(*plan), std::runtime_error);
+  auto binary = nal::GroupBinary(Symbol("g"), {Symbol("a"), Symbol("b")},
+                                 CmpOp::kLt, {Symbol("a"), Symbol("b")},
+                                 nal::AggCount(), Table(rows), Table(rows));
+  EXPECT_THROW(ev.Eval(*binary), std::runtime_error);
+}
+
+TEST(RobustnessTest, ReferenceEvaluatorRejectsXi) {
+  xml::Store store;
+  nal::Evaluator ev(store);
+  auto plan = nal::XiSimple({nal::XiCommand::Literal("x")}, nal::Singleton());
+  EXPECT_THROW(nal::reference::Eval(ev, *plan), std::logic_error);
+}
+
+TEST(RobustnessTest, OperatorsOnEmptyInputs) {
+  xml::Store store;
+  nal::Evaluator ev(store);
+  Sequence empty;
+  Sequence one;
+  one.Append(T({{"a", I(1)}}));
+  // Binary operators with an empty operand.
+  EXPECT_TRUE(ev.Eval(*nal::Cross(Table(empty), Table(one))).empty());
+  EXPECT_TRUE(ev.Eval(*nal::Cross(Table(one), Table(empty))).empty());
+  EXPECT_TRUE(ev.Eval(*nal::SemiJoin(nal::MakeConst(nal::Value(true)),
+                                     Table(empty), Table(one)))
+                  .empty());
+  // Antijoin with empty right side keeps everything.
+  EXPECT_EQ(ev.Eval(*nal::AntiJoin(nal::MakeConst(nal::Value(true)),
+                                   Table(one), Table(empty)))
+                .size(),
+            1u);
+  // Outer join with empty right side: default row per left tuple.
+  Sequence oj = ev.Eval(*nal::OuterJoin(
+      nal::MakeConst(nal::Value(true)), Symbol("g"), nal::MakeConst(I(0)),
+      Table(one), Table(empty)));
+  ASSERT_EQ(oj.size(), 1u);
+  EXPECT_EQ(oj[0].Get(Symbol("g")).AsInt(), 0);
+  // Grouping the empty sequence.
+  EXPECT_TRUE(ev.Eval(*nal::GroupUnary(Symbol("g"), CmpOp::kEq, {Symbol("a")},
+                                       nal::AggCount(), Table(empty)))
+                  .empty());
+  // Ξ over the empty sequence writes nothing.
+  ev.ClearOutput();
+  ev.Eval(*nal::XiSimple({nal::XiCommand::Literal("never")}, Table(empty)));
+  EXPECT_TRUE(ev.output().empty());
+}
+
+TEST(RobustnessTest, DeepPathAndLongEntityText) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 40; ++i) xml += "<d>";
+  xml += "leaf &amp;&lt;&gt; text";
+  for (int i = 0; i < 40; ++i) xml += "</d>";
+  xml += "</r>";
+  engine::Engine engine;
+  engine.AddDocument("deep.xml", xml);
+  engine::RunResult r = engine.RunQuery(R"(
+    for $x in doc("deep.xml")//d/text()
+    return <t>{ $x }</t>)");
+  EXPECT_EQ(r.output, "<t>leaf &amp;&lt;&gt; text</t>");
+}
+
+TEST(RobustnessTest, QuantifierOverMissingElements) {
+  engine::Engine engine;
+  engine.AddDocument("bib.xml", "<bib><book year=\"2001\"><title>X</title>"
+                                "<author><last>L</last><first>F</first>"
+                                "</author><publisher>P</publisher>"
+                                "<price>1</price></book></bib>");
+  engine.RegisterDtd("bib.xml", datagen::kBibDtd);
+  // every over an empty range is true: books with no editor qualify.
+  engine::RunResult r = engine.RunQuery(R"(
+    for $b in doc("bib.xml")//book
+    where every $e in $b/editor satisfies $e = "nobody"
+    return <ok>{ $b/title }</ok>)");
+  EXPECT_EQ(r.output, "<ok><title>X</title></ok>");
+}
+
+TEST(RobustnessTest, WhitespaceAndCommentsInQueries) {
+  engine::Engine engine;
+  engine.AddDocument("bib.xml", "<bib><book year=\"2001\"><title>X</title>"
+                                "<author><last>L</last><first>F</first>"
+                                "</author><publisher>P</publisher>"
+                                "<price>1</price></book></bib>");
+  engine::RunResult r = engine.RunQuery(
+      "(: leading comment :)\n"
+      "for $b in doc(\"bib.xml\")//book (: mid comment :)\n"
+      "return <t>{ $b/title }</t>");
+  EXPECT_EQ(r.output, "<t><title>X</title></t>");
+}
+
+TEST(RobustnessTest, AttributeValueEscaping) {
+  engine::Engine engine;
+  engine.AddDocument("d.xml", "<r><v>a&amp;b \"quoted\"</v></r>");
+  engine::RunResult r = engine.RunQuery(R"(
+    for $v in doc("d.xml")//v
+    return <out val="{ string($v) }"/>)");
+  EXPECT_NE(r.output.find("a&amp;b"), std::string::npos);
+}
+
+TEST(RobustnessTest, RunIsRepeatableAndStatsAccumulate) {
+  engine::Engine engine;
+  datagen::BibOptions bib;
+  bib.books = 5;
+  engine.AddDocument("bib.xml", datagen::GenerateBib(bib));
+  engine::CompiledQuery q = engine.Compile(
+      R"(for $b in doc("bib.xml")//book return <t>{ $b/title }</t>)");
+  engine::RunResult a = engine.Run(q.nested_plan);
+  engine::RunResult b = engine.Run(q.nested_plan);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.stats.doc_scans, b.stats.doc_scans);
+}
+
+}  // namespace
+}  // namespace nalq

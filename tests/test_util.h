@@ -1,0 +1,122 @@
+// Shared helpers for the NAL test suite: literal relation builders, random
+// sequence generators and order-sensitive comparison assertions.
+#ifndef NALQ_TESTS_TEST_UTIL_H_
+#define NALQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nal/algebra.h"
+#include "nal/eval.h"
+#include "nal/sequence.h"
+
+namespace nalq::testutil {
+
+/// Builds a literal tuple from (name, value) pairs.
+inline nal::Tuple T(
+    std::initializer_list<std::pair<const char*, nal::Value>> bindings) {
+  nal::Tuple t;
+  for (const auto& [name, value] : bindings) {
+    t.Set(nal::Symbol(name), value);
+  }
+  return t;
+}
+
+inline nal::Value I(int64_t v) { return nal::Value(v); }
+inline nal::Value D(double v) { return nal::Value(v); }
+inline nal::Value S(const char* v) { return nal::Value(v); }
+
+/// Wraps a literal sequence as an algebra leaf:
+/// μ_g(χ_{g:const}(□)) yields exactly the sequence, in order.
+inline nal::AlgebraPtr Table(nal::Sequence rows) {
+  nal::Symbol g = nal::Symbol::Fresh("table");
+  return nal::Unnest(
+      g,
+      nal::Map(g, nal::MakeConst(nal::Value::FromTuples(std::move(rows))),
+               nal::Singleton()),
+      /*distinct=*/false, /*outer=*/false);
+}
+
+/// Order-sensitive equality with a readable failure message.
+inline ::testing::AssertionResult SeqEq(const nal::Sequence& expected,
+                                        const nal::Sequence& actual) {
+  if (nal::SequencesEqual(expected, actual)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "sequences differ\nexpected: " << nal::DebugStringOf(expected)
+         << "\nactual:   " << nal::DebugStringOf(actual);
+}
+
+/// Deterministic random-relation generator. Values are drawn from a small
+/// domain so joins/groups hit both matching and non-matching cases,
+/// including empty groups (the count-bug scenario).
+class RandomRelation {
+ public:
+  explicit RandomRelation(unsigned seed) : rng_(seed) {}
+
+  nal::Value RandomValue(int domain) {
+    std::uniform_int_distribution<int> pick(0, 3);
+    std::uniform_int_distribution<int> val(0, domain - 1);
+    switch (pick(rng_)) {
+      case 0:
+        return nal::Value(static_cast<int64_t>(val(rng_)));
+      case 1:
+        return nal::Value(static_cast<double>(val(rng_)) + 0.5);
+      default:
+        return nal::Value("v" + std::to_string(val(rng_)));
+    }
+  }
+
+  /// Sequence with attributes `attrs`, `rows` tuples, values from a domain
+  /// of size `domain`.
+  nal::Sequence Make(const std::vector<const char*>& attrs, size_t rows,
+                     int domain) {
+    nal::Sequence out;
+    for (size_t i = 0; i < rows; ++i) {
+      nal::Tuple t;
+      for (const char* a : attrs) {
+        t.Set(nal::Symbol(a), RandomValue(domain));
+      }
+      out.Append(std::move(t));
+    }
+    return out;
+  }
+
+  /// Sequence where attribute `nested` holds an item sequence of 0..max_len
+  /// values (the e[a'] shape of Eqv. 4/5 before binding).
+  nal::Sequence MakeWithNested(const std::vector<const char*>& attrs,
+                               const char* nested, nal::Symbol item_attr,
+                               size_t rows, int domain, int max_len) {
+    nal::Sequence out;
+    std::uniform_int_distribution<int> len(0, max_len);
+    for (size_t i = 0; i < rows; ++i) {
+      nal::Tuple t;
+      for (const char* a : attrs) {
+        t.Set(nal::Symbol(a), RandomValue(domain));
+      }
+      nal::Sequence inner;
+      int n = len(rng_);
+      for (int j = 0; j < n; ++j) {
+        nal::Tuple it;
+        it.Set(item_attr, RandomValue(domain));
+        inner.Append(std::move(it));
+      }
+      t.Set(nal::Symbol(nested), nal::Value::FromTuples(std::move(inner)));
+      out.Append(std::move(t));
+    }
+    return out;
+  }
+
+  std::mt19937& rng() { return rng_; }
+
+ private:
+  std::mt19937 rng_;
+};
+
+}  // namespace nalq::testutil
+
+#endif  // NALQ_TESTS_TEST_UTIL_H_

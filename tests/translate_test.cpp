@@ -1,0 +1,212 @@
+// Translation tests (paper Fig. 3): normalized queries become NAL plans of
+// the expected shape, singleton decisions follow the DTD, quantifiers get
+// algebraic ranges with the correlation moved inside.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "nal/analysis.h"
+#include "nal/printer.h"
+#include "xquery/normalize.h"
+#include "xquery/parser.h"
+#include "xquery/translate.h"
+
+namespace nalq::xquery {
+namespace {
+
+using nal::AlgebraPtr;
+using nal::ExprKind;
+using nal::OpKind;
+using nal::Symbol;
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dtds_.Register("bib.xml", xml::Dtd::Parse(datagen::kBibDtd));
+    dtds_.Register("prices.xml", xml::Dtd::Parse(datagen::kPricesDtd));
+    dtds_.Register("bids.xml", xml::Dtd::Parse(datagen::kBidsDtd));
+  }
+
+  AlgebraPtr Plan(const char* query) {
+    return Translate(Normalize(ParseQuery(query)), &dtds_);
+  }
+
+  /// First node of the given kind in a pre-order walk (subscript algebras
+  /// included).
+  const nal::AlgebraOp* Find(const nal::AlgebraOp& root, OpKind kind) {
+    if (root.kind == kind) return &root;
+    for (const nal::AlgebraPtr& c : root.children) {
+      if (const nal::AlgebraOp* hit = Find(*c, kind)) return hit;
+    }
+    for (const nal::ExprPtr& e : {root.pred, root.expr}) {
+      if (e == nullptr) continue;
+      std::vector<const nal::Expr*> stack = {e.get()};
+      while (!stack.empty()) {
+        const nal::Expr* cur = stack.back();
+        stack.pop_back();
+        if (cur->alg != nullptr) {
+          if (const nal::AlgebraOp* hit = Find(*cur->alg, kind)) return hit;
+        }
+        for (const nal::ExprPtr& ch : cur->children) stack.push_back(ch.get());
+      }
+    }
+    return nullptr;
+  }
+
+  xml::DtdRegistry dtds_;
+};
+
+TEST_F(TranslateTest, TopLevelIsXiOverClauseChain) {
+  AlgebraPtr plan = Plan(
+      R"(for $b in doc("bib.xml")//book return <r>{ $b }</r>)");
+  EXPECT_EQ(plan->kind, OpKind::kXiSimple);
+  EXPECT_EQ(plan->child(0)->kind, OpKind::kUnnestMap);
+  EXPECT_EQ(plan->child(0)->child(0)->kind, OpKind::kSingleton);
+}
+
+TEST_F(TranslateTest, XiProgramContainsLiteralsAndVariables) {
+  AlgebraPtr plan = Plan(
+      R"(for $b in doc("bib.xml")//book return <r a="{ $b }">x{ $b }</r>)");
+  const nal::XiProgram& program = plan->s1;
+  ASSERT_GE(program.size(), 4u);
+  EXPECT_TRUE(program[0].is_literal);
+  EXPECT_EQ(program[0].text, "<r a=\"");
+  EXPECT_FALSE(program[1].is_literal);
+  EXPECT_TRUE(program.back().is_literal);
+  EXPECT_EQ(program.back().text, "</r>");
+}
+
+TEST_F(TranslateTest, NestedQueryBecomesMapWithNestedAlgebra) {
+  // The paper's Q1 after normalization: the nested block sits inside a χ
+  // subscript as f(σ(...)).
+  AlgebraPtr plan = Plan(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author>{
+        let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title
+      }</author>)");
+  const nal::AlgebraOp* map = Find(*plan, OpKind::kMap);
+  ASSERT_NE(map, nullptr);
+  ASSERT_NE(map->expr, nullptr);
+  EXPECT_EQ(map->expr->kind, ExprKind::kAgg);
+  EXPECT_EQ(map->expr->agg.kind, nal::AggSpec::Kind::kProjectItems);
+  EXPECT_EQ(map->expr->children[0]->kind, ExprKind::kNestedAlg);
+  // The nested algebra contains the correlation σ.
+  const nal::AlgebraOp* select = Find(*map->expr->children[0]->alg,
+                                      OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+}
+
+TEST_F(TranslateTest, SingletonPathsSkipTupleBinding) {
+  // title is exactly-one per book (DTD) → plain path value; author is
+  // multi-valued → e[a'] binding.
+  AlgebraPtr plan = Plan(R"(
+    for $b in doc("bib.xml")//book
+    let $t := $b/title
+    let $a := $b/author
+    return <r>{ $t }</r>)");
+  // Walk the Map operators.
+  const nal::AlgebraOp* cur = plan.get();
+  const nal::AlgebraOp* map_t = nullptr;
+  const nal::AlgebraOp* map_a = nullptr;
+  while (cur != nullptr && !cur->children.empty()) {
+    if (cur->kind == OpKind::kMap) {
+      if (cur->attr == Symbol("t")) map_t = cur;
+      if (cur->attr == Symbol("a")) map_a = cur;
+    }
+    cur = cur->child(0).get();
+  }
+  ASSERT_NE(map_t, nullptr);
+  ASSERT_NE(map_a, nullptr);
+  EXPECT_EQ(map_t->expr->kind, ExprKind::kPath);
+  EXPECT_EQ(map_a->expr->kind, ExprKind::kBindTuples);
+  EXPECT_EQ(map_a->expr->attr, Symbol("a'"));
+}
+
+TEST_F(TranslateTest, AttributePathIsSingletonWhenDeclared) {
+  AlgebraPtr plan = Plan(R"(
+    for $b in doc("bib.xml")//book
+    let $y := $b/@year
+    return <r>{ $y }</r>)");
+  const nal::AlgebraOp* cur = plan.get();
+  while (cur != nullptr && cur->kind != OpKind::kMap) {
+    cur = cur->children.empty() ? nullptr : cur->child(0).get();
+  }
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->expr->kind, ExprKind::kPath);  // no e[a'] binding
+}
+
+TEST_F(TranslateTest, WithoutDtdPathsAreConservativelyMultiValued) {
+  AlgebraPtr plan = Translate(
+      Normalize(ParseQuery(R"(
+        for $b in doc("bib.xml")//book
+        let $t := $b/title
+        return <r>{ $t }</r>)")),
+      nullptr);
+  const nal::AlgebraOp* cur = plan.get();
+  while (cur != nullptr && cur->kind != OpKind::kMap) {
+    cur = cur->children.empty() ? nullptr : cur->child(0).get();
+  }
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->expr->kind, ExprKind::kBindTuples);
+}
+
+TEST_F(TranslateTest, QuantifierRangeIsProjectedAndCorrelated) {
+  AlgebraPtr plan = Plan(R"(
+    let $d1 := document("bib.xml")
+    for $t1 in $d1//book/title
+    where some $t2 in document("bib.xml")//book/title satisfies $t1 = $t2
+    return <r>{ $t1 }</r>)");
+  const nal::AlgebraOp* select = Find(*plan, OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->pred->kind, ExprKind::kQuant);
+  const nal::Expr& quant = *select->pred;
+  // Range is Π_{x'}(σ_{corr}(...)); p reduced to true.
+  ASSERT_EQ(quant.alg->kind, OpKind::kProject);
+  EXPECT_EQ(quant.alg->child(0)->kind, OpKind::kSelect);
+  EXPECT_EQ(quant.children[0]->kind, ExprKind::kConst);
+}
+
+TEST_F(TranslateTest, CountAggregateBecomesAggExpr) {
+  AlgebraPtr plan = Plan(R"(
+    let $d1 := document("bids.xml")
+    for $i1 in distinct-values($d1//itemno)
+    where count($d1//bidtuple[itemno = $i1]) >= 3
+    return <r>{ $i1 }</r>)");
+  const nal::AlgebraOp* map = Find(*plan, OpKind::kMap);
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->expr->kind, ExprKind::kAgg);
+  EXPECT_EQ(map->expr->agg.kind, nal::AggSpec::Kind::kCount);
+}
+
+TEST_F(TranslateTest, OutputAttrsOfTranslatedPlanAreSane) {
+  AlgebraPtr plan = Plan(R"(
+    for $b in doc("bib.xml")//book
+    let $t := $b/title
+    return <r>{ $t }</r>)");
+  nal::AttrInfo info = nal::OutputAttrs(*plan);
+  EXPECT_TRUE(info.Has(Symbol("b")));
+  EXPECT_TRUE(info.Has(Symbol("t")));
+  EXPECT_TRUE(nal::FreeVars(*plan).empty());
+}
+
+TEST_F(TranslateTest, ErrorsOnUnnormalizedInput) {
+  // A raw (unnormalized) query with a path return inside a nested block
+  // cannot be translated.
+  AstPtr q = ParseQuery(R"(
+    for $a in distinct-values(doc("bib.xml")//author)
+    return <r>{ let $t := (for $b in doc("bib.xml")//book return $b/title)
+                return $t }</r>)");
+  EXPECT_THROW(Translate(q, &dtds_), TranslateError);
+  EXPECT_NO_THROW(Translate(Normalize(q), &dtds_));
+}
+
+TEST_F(TranslateTest, TopLevelMustBeFlwr) {
+  AstPtr q = ParseQuery("doc(\"bib.xml\")//book");
+  EXPECT_THROW(Translate(q, &dtds_), TranslateError);
+}
+
+}  // namespace
+}  // namespace nalq::xquery

@@ -1,0 +1,189 @@
+// Unit tests for the XML substrate: document trees, parser, serializer,
+// store.
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/store.h"
+
+namespace nalq::xml {
+namespace {
+
+TEST(DocumentTest, BuildsTreeWithDocumentOrderIds) {
+  Document doc("test.xml");
+  NodeId root = doc.AddElement(doc.root(), "bib");
+  NodeId book = doc.AddElement(root, "book");
+  NodeId title = doc.AddElement(book, "title");
+  doc.AddText(title, "The Title");
+  NodeId author = doc.AddElement(book, "author");
+  doc.AddText(author, "A. Uthor");
+  // Depth-first construction ⇒ ids ascend in document order.
+  EXPECT_LT(root, book);
+  EXPECT_LT(book, title);
+  EXPECT_LT(title, author);
+  EXPECT_EQ(doc.parent(book), root);
+  EXPECT_EQ(doc.first_child(root), book);
+  EXPECT_EQ(doc.next_sibling(title), author);
+}
+
+TEST(DocumentTest, StringValueConcatenatesDescendantText) {
+  Document doc("t");
+  NodeId root = doc.AddElement(doc.root(), "author");
+  NodeId last = doc.AddElement(root, "last");
+  doc.AddText(last, "Doe");
+  NodeId first = doc.AddElement(root, "first");
+  doc.AddText(first, "Jane");
+  EXPECT_EQ(doc.StringValue(root), "DoeJane");
+  EXPECT_EQ(doc.StringValue(last), "Doe");
+}
+
+TEST(DocumentTest, AttributesLiveOutsideChildChain) {
+  Document doc("t");
+  NodeId root = doc.AddElement(doc.root(), "book");
+  NodeId year = doc.AddAttribute(root, "year", "1999");
+  NodeId title = doc.AddElement(root, "title");
+  EXPECT_EQ(doc.first_child(root), title);
+  EXPECT_EQ(doc.first_attr(root), year);
+  EXPECT_EQ(doc.kind(year), NodeKind::kAttribute);
+  EXPECT_EQ(doc.StringValue(year), "1999");
+}
+
+TEST(DocumentTest, CountElements) {
+  Document doc("t");
+  NodeId root = doc.AddElement(doc.root(), "r");
+  doc.AddElement(root, "x");
+  doc.AddElement(root, "x");
+  doc.AddElement(root, "y");
+  EXPECT_EQ(doc.CountElements("x"), 2u);
+  EXPECT_EQ(doc.CountElements("y"), 1u);
+  EXPECT_EQ(doc.CountElements("z"), 0u);
+}
+
+TEST(ParserTest, ParsesElementsAttributesText) {
+  Document doc = ParseDocument(
+      "t", R"(<bib><book year="1994"><title>TCP/IP</title></book></bib>)");
+  NodeId bib = doc.first_child(doc.root());
+  EXPECT_EQ(doc.node_name(bib), "bib");
+  NodeId book = doc.first_child(bib);
+  EXPECT_EQ(doc.node_name(book), "book");
+  NodeId year = doc.first_attr(book);
+  EXPECT_EQ(doc.node_name(year), "year");
+  EXPECT_EQ(doc.raw_text(year), "1994");
+  EXPECT_EQ(doc.StringValue(book), "TCP/IP");
+}
+
+TEST(ParserTest, DecodesEntities) {
+  Document doc = ParseDocument("t", "<a b=\"x&amp;y\">1 &lt; 2 &#65;</a>");
+  NodeId a = doc.first_child(doc.root());
+  EXPECT_EQ(doc.raw_text(doc.first_attr(a)), "x&y");
+  EXPECT_EQ(doc.StringValue(a), "1 < 2 A");
+}
+
+TEST(ParserTest, StripsWhitespaceOnlyTextByDefault) {
+  Document doc = ParseDocument("t", "<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  NodeId a = doc.first_child(doc.root());
+  NodeId b = doc.first_child(a);
+  EXPECT_EQ(doc.node_name(b), "b");
+  EXPECT_EQ(doc.node_name(doc.next_sibling(b)), "c");
+}
+
+TEST(ParserTest, KeepsWhitespaceWhenAsked) {
+  ParseOptions options;
+  options.strip_whitespace_text = false;
+  Document doc = ParseDocument("t", "<a> <b>x</b></a>", options);
+  NodeId a = doc.first_child(doc.root());
+  EXPECT_EQ(doc.kind(doc.first_child(a)), NodeKind::kText);
+}
+
+TEST(ParserTest, CapturesDoctypeInternalSubset) {
+  Document doc = ParseDocument("t", R"(<!DOCTYPE bib [
+    <!ELEMENT bib (book*)>
+  ]><bib/>)");
+  EXPECT_NE(doc.dtd_text().find("<!ELEMENT bib (book*)>"), std::string::npos);
+}
+
+TEST(ParserTest, HandlesCommentsCdataAndPi) {
+  Document doc = ParseDocument(
+      "t", "<?xml version=\"1.0\"?><!-- c --><a><!-- x --><![CDATA[<raw>]]>"
+           "<?pi data?></a>");
+  NodeId a = doc.first_child(doc.root());
+  EXPECT_EQ(doc.StringValue(a), "<raw>");
+}
+
+TEST(ParserTest, EmptyElementSyntax) {
+  Document doc = ParseDocument("t", "<a><b/><c x=\"1\"/></a>");
+  NodeId a = doc.first_child(doc.root());
+  NodeId b = doc.first_child(a);
+  EXPECT_EQ(doc.node_name(b), "b");
+  EXPECT_EQ(doc.first_child(b), kNoNode);
+  NodeId c = doc.next_sibling(b);
+  EXPECT_EQ(doc.raw_text(doc.first_attr(c)), "1");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  EXPECT_THROW(ParseDocument("t", "<a><b></a></b>"), ParseError);
+}
+
+TEST(ParserTest, RejectsTruncatedInput) {
+  EXPECT_THROW(ParseDocument("t", "<a><b>"), ParseError);
+  EXPECT_THROW(ParseDocument("t", "<a b='x"), ParseError);
+  EXPECT_THROW(ParseDocument("t", ""), ParseError);
+}
+
+TEST(ParserTest, RejectsTrailingContent) {
+  EXPECT_THROW(ParseDocument("t", "<a/><b/>"), ParseError);
+}
+
+TEST(SerializerTest, RoundTripsSimpleDocument) {
+  const char* xml =
+      R"(<bib><book year="1994"><title>a&amp;b</title></book></bib>)";
+  Document doc = ParseDocument("t", xml);
+  EXPECT_EQ(SerializeDocument(doc), xml);
+}
+
+TEST(SerializerTest, AttributeNodeSerializesAsValue) {
+  Document doc = ParseDocument("t", "<a y=\"1999\"/>");
+  NodeId a = doc.first_child(doc.root());
+  EXPECT_EQ(Serialize(doc, doc.first_attr(a)), "1999");
+}
+
+TEST(SerializerTest, IndentedOutput) {
+  Document doc = ParseDocument("t", "<a><b>x</b><c><d>y</d></c></a>");
+  SerializeOptions options;
+  options.indent = true;
+  std::string out = SerializeDocument(doc, options);
+  EXPECT_NE(out.find("<a>\n"), std::string::npos);
+  EXPECT_NE(out.find("  <b>x</b>\n"), std::string::npos);
+}
+
+TEST(StoreTest, AddAndFindDocuments) {
+  Store store;
+  DocId a = store.AddDocumentText("a.xml", "<a/>");
+  DocId b = store.AddDocumentText("b.xml", "<b/>");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.Find("a.xml"), std::optional<DocId>(a));
+  EXPECT_EQ(store.Find("b.xml"), std::optional<DocId>(b));
+  EXPECT_EQ(store.Find("c.xml"), std::nullopt);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StoreTest, ReplacingDocumentKeepsId) {
+  Store store;
+  DocId a = store.AddDocumentText("a.xml", "<a/>");
+  DocId a2 = store.AddDocumentText("a.xml", "<a><b/></a>");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(store.document(a).CountElements("b"), 1u);
+}
+
+TEST(StoreTest, NodeRefOrderingIsDocumentOrder) {
+  NodeRef a{0, 5};
+  NodeRef b{0, 9};
+  NodeRef c{1, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (NodeRef{0, 5}));
+}
+
+}  // namespace
+}  // namespace nalq::xml

@@ -1,0 +1,143 @@
+// Unit tests for the XPath-lite evaluator: axes, document order,
+// duplicate-freeness, parsing.
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/xpath.h"
+
+namespace nalq::xml {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_id_ = store_.AddDocumentText("bib.xml", R"(
+      <bib>
+        <book year="1994">
+          <title>T1</title>
+          <author><last>L1</last><first>F1</first></author>
+          <author><last>L2</last><first>F2</first></author>
+        </book>
+        <book year="2000">
+          <title>T2</title>
+          <author><last>L3</last><first>F3</first></author>
+        </book>
+      </bib>)");
+  }
+
+  NodeRef Root() const { return NodeRef{doc_id_, 0}; }
+  const Document& Doc() const { return store_.document(doc_id_); }
+
+  std::vector<std::string> Names(const std::vector<NodeRef>& refs) {
+    std::vector<std::string> out;
+    for (const NodeRef& r : refs) {
+      out.push_back(std::string(Doc().node_name(r.id)));
+    }
+    return out;
+  }
+
+  std::vector<std::string> Values(const std::vector<NodeRef>& refs) {
+    std::vector<std::string> out;
+    for (const NodeRef& r : refs) out.push_back(Doc().StringValue(r.id));
+    return out;
+  }
+
+  Store store_;
+  DocId doc_id_ = 0;
+};
+
+TEST_F(XPathTest, ParseRoundTrip) {
+  EXPECT_EQ(Path::Parse("//book/title").ToString(), "//book/title");
+  EXPECT_EQ(Path::Parse("author").ToString(), "author");
+  EXPECT_EQ(Path::Parse("@year").ToString(), "@year");
+  EXPECT_EQ(Path::Parse("/bib/book").ToString(), "/bib/book");
+  EXPECT_EQ(Path::Parse("//book//last").ToString(), "//book//last");
+  EXPECT_EQ(Path::Parse("*").ToString(), "*");
+}
+
+TEST_F(XPathTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Path::Parse(""), std::invalid_argument);
+  EXPECT_THROW(Path::Parse("a/"), std::invalid_argument);
+  EXPECT_THROW(Path::Parse("a//"), std::invalid_argument);
+  EXPECT_THROW(Path::Parse("//@year"), std::invalid_argument);
+}
+
+TEST_F(XPathTest, DescendantAxisInDocumentOrder) {
+  auto titles = EvalPath(store_, Path::Parse("//title"), Root());
+  EXPECT_EQ(Values(titles), (std::vector<std::string>{"T1", "T2"}));
+  auto lasts = EvalPath(store_, Path::Parse("//last"), Root());
+  EXPECT_EQ(Values(lasts), (std::vector<std::string>{"L1", "L2", "L3"}));
+}
+
+TEST_F(XPathTest, MixedDescendantChildSteps) {
+  auto authors = EvalPath(store_, Path::Parse("//book/author"), Root());
+  EXPECT_EQ(authors.size(), 3u);
+  auto firsts = EvalPath(store_, Path::Parse("//book//first"), Root());
+  EXPECT_EQ(Values(firsts), (std::vector<std::string>{"F1", "F2", "F3"}));
+}
+
+TEST_F(XPathTest, AttributeAxis) {
+  auto books = EvalPath(store_, Path::Parse("//book"), Root());
+  ASSERT_EQ(books.size(), 2u);
+  auto year = EvalPath(store_, Path::Parse("@year"), books[0]);
+  ASSERT_EQ(year.size(), 1u);
+  EXPECT_EQ(Doc().StringValue(year[0].id), "1994");
+}
+
+TEST_F(XPathTest, RelativePathsFromContextNode) {
+  auto books = EvalPath(store_, Path::Parse("//book"), Root());
+  auto authors = EvalPath(store_, Path::Parse("author"), books[0]);
+  EXPECT_EQ(authors.size(), 2u);
+  auto authors2 = EvalPath(store_, Path::Parse("author"), books[1]);
+  EXPECT_EQ(authors2.size(), 1u);
+}
+
+TEST_F(XPathTest, AbsolutePathIgnoresContextPosition) {
+  auto books = EvalPath(store_, Path::Parse("//book"), Root());
+  auto all_titles = EvalPath(store_, Path::Parse("//title"), books[1]);
+  EXPECT_EQ(all_titles.size(), 2u);  // absolute: starts at document root
+}
+
+TEST_F(XPathTest, MultiContextEvaluationDeduplicatesAndSorts) {
+  auto books = EvalPath(store_, Path::Parse("//book"), Root());
+  // Evaluate from both books AND from the root (overlapping result sets).
+  std::vector<NodeRef> contexts = {Root(), books[0], books[1]};
+  // Relative descendant from multiple contexts.
+  Path rel(false, {Step{Axis::kDescendant, "last"}});
+  auto lasts = EvalPath(store_, rel, std::span<const NodeRef>(contexts));
+  EXPECT_EQ(Values(lasts), (std::vector<std::string>{"L1", "L2", "L3"}));
+}
+
+TEST_F(XPathTest, WildcardStep) {
+  auto kids = EvalPath(store_, Path::Parse("//book/*"), Root());
+  // title + 2 authors + title + author = 5 element children.
+  EXPECT_EQ(kids.size(), 5u);
+}
+
+TEST_F(XPathTest, TextStep) {
+  auto books = EvalPath(store_, Path::Parse("//title"), Root());
+  auto text = EvalPath(store_, Path::Parse("text()"), books[0]);
+  ASSERT_EQ(text.size(), 1u);
+  EXPECT_EQ(Doc().StringValue(text[0].id), "T1");
+}
+
+TEST_F(XPathTest, MissingNameYieldsEmpty) {
+  auto nothing = EvalPath(store_, Path::Parse("//nonexistent"), Root());
+  EXPECT_TRUE(nothing.empty());
+}
+
+TEST_F(XPathTest, StatsCountVisitsAndSteps) {
+  XPathStats stats;
+  EvalPath(store_, Path::Parse("//book/title"), Root(), &stats);
+  EXPECT_EQ(stats.steps_evaluated, 2u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+TEST_F(XPathTest, ConcatPaths) {
+  Path a = Path::Parse("//book");
+  Path b = Path::Parse("author/last");
+  EXPECT_EQ(a.Concat(b).ToString(), "//book/author/last");
+}
+
+}  // namespace
+}  // namespace nalq::xml
