@@ -2,22 +2,160 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace nalq::bench {
 
-double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
-                int repeats) {
+namespace {
+
+double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
+                    int repeats, engine::ExecMode mode,
+                    nal::EvalStats* stats) {
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     auto start = std::chrono::steady_clock::now();
-    engine.Run(plan);
+    engine::RunResult result = engine.Run(plan, mode);
     auto end = std::chrono::steady_clock::now();
+    if (stats != nullptr) *stats = result.stats;
     double s = std::chrono::duration<double>(end - start).count();
     times.push_back(s);
     if (s > 2.0) break;  // slow plan: one measurement is informative enough
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+}  // namespace
+
+double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
+                int repeats, engine::ExecMode mode) {
+  return TimePlanImpl(engine, plan, repeats, mode, nullptr);
+}
+
+namespace {
+
+std::vector<BenchRecord>& Records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// One record as a single JSON object line (the merge in WriteBenchResults
+/// relies on the one-line-per-record layout).
+std::string RecordLine(const BenchRecord& r) {
+  char seconds[64];
+  std::snprintf(seconds, sizeof(seconds), "%.6f", r.seconds);
+  std::ostringstream out;
+  out << "{\"bench\":\"" << JsonEscape(r.bench) << "\""
+      << ",\"plan\":\"" << JsonEscape(r.plan) << "\""
+      << ",\"parameter\":\"" << JsonEscape(r.parameter) << "\""
+      << ",\"size\":\"" << JsonEscape(r.size) << "\""
+      << ",\"mode\":\"" << JsonEscape(r.mode) << "\""
+      << ",\"seconds\":" << seconds
+      << ",\"nested_alg_evals\":" << r.stats.nested_alg_evals
+      << ",\"doc_scans\":" << r.stats.doc_scans
+      << ",\"tuples_produced\":" << r.stats.tuples_produced
+      << ",\"predicate_evals\":" << r.stats.predicate_evals
+      << ",\"xpath_steps\":" << r.stats.xpath.steps_evaluated
+      << ",\"xpath_nodes\":" << r.stats.xpath.nodes_visited << "}";
+  return out.str();
+}
+
+}  // namespace
+
+void RecordBench(BenchRecord record) {
+  Records().push_back(std::move(record));
+}
+
+void WriteBenchResults(const char* path) {
+  if (Records().empty()) return;
+  // Keep records of other experiments already in the file; replace every
+  // experiment id this process re-measured. The read-modify-write is not
+  // locked: run the bench binaries sequentially (concurrent writers would
+  // drop each other's records).
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      // One record object per line; anything else (array brackets, a
+      // hand-reformatted file) is skipped rather than merged garbled.
+      size_t start = line.find("{\"bench\"");
+      size_t end = line.rfind('}');
+      if (start == std::string::npos || end == std::string::npos ||
+          end < start) {
+        continue;
+      }
+      std::string record = line.substr(start, end - start + 1);
+      bool remeasured = false;
+      for (const BenchRecord& r : Records()) {
+        if (record.find("{\"bench\":\"" + JsonEscape(r.bench) + "\"") == 0) {
+          remeasured = true;
+          break;
+        }
+      }
+      if (!remeasured) kept.push_back(std::move(record));
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  bool first = true;
+  for (const std::string& line : kept) {
+    out << (first ? "" : ",\n") << line;
+    first = false;
+  }
+  for (const BenchRecord& r : Records()) {
+    out << (first ? "" : ",\n") << RecordLine(r);
+    first = false;
+  }
+  out << "\n]\n";
+  std::printf("wrote %zu record(s) to %s\n", kept.size() + Records().size(),
+              path);
+}
+
+double TimePlanRecorded(const engine::Engine& engine,
+                        const nal::AlgebraPtr& plan, const std::string& bench,
+                        const std::string& plan_label,
+                        const std::string& parameter, const std::string& size,
+                        int repeats) {
+  BenchRecord base;
+  base.bench = bench;
+  base.plan = plan_label;
+  base.parameter = parameter;
+  base.size = size;
+
+  double streaming_seconds = 0;
+  for (engine::ExecMode mode :
+       {engine::ExecMode::kStreaming, engine::ExecMode::kMaterializing}) {
+    BenchRecord r = base;
+    r.mode = mode == engine::ExecMode::kStreaming ? "streaming"
+                                                  : "materializing";
+    r.seconds = TimePlanImpl(engine, plan, repeats, mode, &r.stats);
+    if (mode == engine::ExecMode::kStreaming) streaming_seconds = r.seconds;
+    RecordBench(std::move(r));
+  }
+  return streaming_seconds;
 }
 
 std::string FormatSeconds(double s) {

@@ -23,7 +23,39 @@ namespace nalq::bench {
 /// Wall-clock seconds for one evaluation of `plan` (median of `repeats`
 /// runs; repeats shrink automatically for slow plans).
 double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
-                int repeats = 3);
+                int repeats = 3,
+                engine::ExecMode mode = engine::ExecMode::kStreaming);
+
+/// One machine-readable measurement: a plan's wall-clock seconds plus the
+/// EvalStats counters, under one executor.
+struct BenchRecord {
+  std::string bench;      ///< experiment id, e.g. "E1"
+  std::string plan;       ///< plan label, e.g. "grouping"
+  std::string parameter;  ///< table parameter, e.g. authors/book; may be empty
+  std::string size;       ///< problem size, e.g. books
+  std::string mode;       ///< "streaming" | "materializing"
+  double seconds = 0;
+  nal::EvalStats stats;
+};
+
+/// Queues `record` for WriteBenchResults().
+void RecordBench(BenchRecord record);
+
+/// Writes every record of this process to `path` (default
+/// BENCH_results.json, next to the paper-style stdout tables), merging with
+/// records other bench binaries already wrote there: existing entries are
+/// kept unless this process re-measured the same experiment id.
+void WriteBenchResults(const char* path = "BENCH_results.json");
+
+/// Times `plan` under BOTH executors, records both measurements (with
+/// EvalStats from one run each) under experiment `bench`, and returns the
+/// streaming-mode seconds — a drop-in replacement for TimePlan in the table
+/// loops.
+double TimePlanRecorded(const engine::Engine& engine,
+                        const nal::AlgebraPtr& plan, const std::string& bench,
+                        const std::string& plan_label,
+                        const std::string& parameter, const std::string& size,
+                        int repeats = 3);
 
 /// Formats seconds the way the paper's tables do ("0.08 s", "7.04 s").
 std::string FormatSeconds(double s);

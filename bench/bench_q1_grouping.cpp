@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
           scan_row.cells.push_back("-");
           continue;
         }
-        double s = bench::TimePlan(engine, alt->plan);
+        double s = bench::TimePlanRecorded(engine, alt->plan, "E1", label,
+                                           std::to_string(apb),
+                                           std::to_string(size));
         previous = s;
         previous_size = size;
         row.cells.push_back(bench::FormatSeconds(s));
@@ -92,5 +94,6 @@ int main(int argc, char** argv) {
   bench::PrintTable(
       "Document scans per evaluation (paper: nested needs |author|+1 scans)",
       "authors/book", {"100", "1000", "10000"}, scan_rows);
+  bench::WriteBenchResults();
   return 0;
 }

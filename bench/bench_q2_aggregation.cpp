@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
         row.cells.push_back(bench::Extrapolated(previous * ratio * ratio));
         continue;
       }
-      double s = bench::TimePlan(engine, alt->plan);
+      double s = bench::TimePlanRecorded(engine, alt->plan, "E2", label,
+                                         "", std::to_string(size));
       previous = s;
       previous_size = size;
       row.cells.push_back(bench::FormatSeconds(s));
@@ -69,5 +70,6 @@ int main(int argc, char** argv) {
   }
   bench::PrintTable("Evaluation time (books = 100 / 1000 / 10000)", "",
                     {"100", "1000", "10000"}, rows);
+  bench::WriteBenchResults();
   return 0;
 }

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
         row.cells.push_back(bench::Extrapolated(previous * ratio * ratio));
         continue;
       }
-      double s = bench::TimePlan(engine, alt->plan);
+      double s = bench::TimePlanRecorded(engine, alt->plan, "E3", label,
+                                         "", std::to_string(size));
       previous = s;
       previous_size = size;
       row.cells.push_back(bench::FormatSeconds(s));
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
   }
   bench::PrintTable("Evaluation time (books/reviews = 100 / 1000 / 10000)",
                     "", {"100", "1000", "10000"}, rows);
+  bench::WriteBenchResults();
   return 0;
 }

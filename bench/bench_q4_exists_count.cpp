@@ -95,16 +95,19 @@ int main(int argc, char** argv) {
           static_cast<double>(size) / static_cast<double>(previous_size);
       rows[0].cells.push_back(bench::Extrapolated(previous * ratio * ratio));
     } else {
-      previous = bench::TimePlan(engine, q.nested_plan);
+      previous = bench::TimePlanRecorded(engine, q.nested_plan, "E4",
+                                         "nested", "", std::to_string(size));
       previous_size = size;
       rows[0].cells.push_back(bench::FormatSeconds(previous));
     }
     // semijoin
     const rewrite::Alternative* semi = q.Find("eqv6-semijoin");
     rows[1].cells.push_back(
-        semi != nullptr ? bench::FormatSeconds(bench::TimePlan(engine,
-                                                               semi->plan))
-                        : std::string("n/a"));
+        semi != nullptr
+            ? bench::FormatSeconds(bench::TimePlanRecorded(
+                  engine, semi->plan, "E4", "semijoin", "",
+                  std::to_string(size)))
+            : std::string("n/a"));
     // single-scan grouping
     nal::AlgebraPtr grouping = BuildSingleScanPlan();
     // Verify it agrees with the semijoin plan before timing.
@@ -116,10 +119,12 @@ int main(int argc, char** argv) {
                     size);
       }
     }
-    rows[2].cells.push_back(
-        bench::FormatSeconds(bench::TimePlan(engine, grouping)));
+    rows[2].cells.push_back(bench::FormatSeconds(
+        bench::TimePlanRecorded(engine, grouping, "E4", "grouping", "",
+                                std::to_string(size))));
   }
   bench::PrintTable("Evaluation time (books = 100 / 1000 / 10000)", "",
                     {"100", "1000", "10000"}, rows);
+  bench::WriteBenchResults();
   return 0;
 }

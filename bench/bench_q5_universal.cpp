@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
         scan_row.cells.push_back("-");
         continue;
       }
-      double s = bench::TimePlan(engine, alt->plan);
+      double s = bench::TimePlanRecorded(engine, alt->plan, "E5", label,
+                                         "", std::to_string(size));
       previous = s;
       previous_size = size;
       row.cells.push_back(bench::FormatSeconds(s));
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
   bench::PrintTable(
       "Document scans (paper: unnested plans scan once or twice)", "",
       {"100", "1000", "10000"}, scan_rows);
+  bench::WriteBenchResults();
   return 0;
 }

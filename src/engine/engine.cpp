@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "nal/cursor.h"
 #include "xml/parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -38,18 +39,22 @@ CompiledQuery Engine::Compile(std::string_view query_text) const {
   return out;
 }
 
-RunResult Engine::Run(const nal::AlgebraPtr& plan) const {
+RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode) const {
   nal::Evaluator evaluator(store_);
-  evaluator.Eval(*plan);
+  if (mode == ExecMode::kStreaming) {
+    nal::DrainStreaming(evaluator, *plan);
+  } else {
+    evaluator.Eval(*plan);
+  }
   RunResult result;
   result.output = evaluator.output();
   result.stats = evaluator.stats();
   return result;
 }
 
-RunResult Engine::RunQuery(std::string_view query_text) const {
+RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode) const {
   CompiledQuery q = Compile(query_text);
-  return Run(q.best.plan);
+  return Run(q.best.plan, mode);
 }
 
 }  // namespace nalq::engine

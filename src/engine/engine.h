@@ -35,6 +35,15 @@ struct RunResult {
   nal::EvalStats stats;
 };
 
+/// Which executor evaluates a plan. Both produce byte-identical output and
+/// identical EvalStats (asserted by tests/streaming_exec_test.cpp); the
+/// streaming executor pipelines tuples and only materializes at true
+/// pipeline breakers (see src/nal/cursor.h).
+enum class ExecMode {
+  kStreaming,      ///< Volcano-style pull executor (default)
+  kMaterializing,  ///< operator-at-a-time Evaluator::Eval
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -54,10 +63,12 @@ class Engine {
   CompiledQuery Compile(std::string_view query_text) const;
 
   /// Evaluates a plan, returning the constructed result and statistics.
-  RunResult Run(const nal::AlgebraPtr& plan) const;
+  RunResult Run(const nal::AlgebraPtr& plan,
+                ExecMode mode = ExecMode::kStreaming) const;
 
   /// Convenience: compile with unnesting and run the best plan.
-  RunResult RunQuery(std::string_view query_text) const;
+  RunResult RunQuery(std::string_view query_text,
+                     ExecMode mode = ExecMode::kStreaming) const;
 
  private:
   xml::Store store_;

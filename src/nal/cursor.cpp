@@ -1,0 +1,1026 @@
+#include "nal/cursor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "nal/analysis.h"
+#include "nal/physical.h"
+
+namespace nalq::nal {
+
+namespace {
+
+/// Builds the operator cursor for `op`, ignoring its cse_id (the CSE wrapper
+/// is applied by MakeCursor).
+CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx);
+
+/// Counts one emitted tuple for the operator that owns `ctx` — the streaming
+/// equivalent of the materializing evaluator's per-node
+/// `stats_.tuples_produced += out.size()`.
+inline void CountProduced(ExecContext& ctx) {
+  ++ctx.ev->stats().tuples_produced;
+}
+
+/// Fully drains `c` into a Sequence (used by pipeline breakers; charged to
+/// StreamStats by the caller).
+Sequence Materialize(Cursor& c) {
+  Sequence out;
+  Tuple t;
+  c.Open();
+  while (c.Next(&t)) out.Append(std::move(t));
+  c.Close();
+  return out;
+}
+
+// True if evaluating the subtree / expression can write to the Ξ output
+// stream (used to decide whether a cursor must buffer an input to keep
+// output writes in evaluator order). Walks expression subscripts too: a Ξ
+// can hide inside a nested algebra expression.
+bool ContainsXi(const AlgebraOp& op);
+
+bool ContainsXiExpr(const Expr& e) {
+  if (e.alg != nullptr && ContainsXi(*e.alg)) return true;
+  if (e.agg.filter != nullptr && ContainsXiExpr(*e.agg.filter)) return true;
+  for (const ExprPtr& child : e.children) {
+    if (ContainsXiExpr(*child)) return true;
+  }
+  return false;
+}
+
+bool ContainsXiProgram(const XiProgram& program) {
+  for (const XiCommand& c : program) {
+    if (c.expr != nullptr && ContainsXiExpr(*c.expr)) return true;
+  }
+  return false;
+}
+
+bool ContainsXi(const AlgebraOp& op) {
+  if (op.kind == OpKind::kXiSimple || op.kind == OpKind::kXiGroup) return true;
+  if (op.pred != nullptr && ContainsXiExpr(*op.pred)) return true;
+  if (op.expr != nullptr && ContainsXiExpr(*op.expr)) return true;
+  if (op.agg.filter != nullptr && ContainsXiExpr(*op.agg.filter)) return true;
+  if (ContainsXiProgram(op.s1) || ContainsXiProgram(op.s2) ||
+      ContainsXiProgram(op.s3)) {
+    return true;
+  }
+  for (const AlgebraPtr& child : op.children) {
+    if (ContainsXi(*child)) return true;
+  }
+  return false;
+}
+
+/// Pass-through cursor that fully materializes its input on Open and then
+/// streams from the buffer. Not an operator: it re-emits already-counted
+/// tuples, so Next does not touch tuples_produced. Used to pin evaluation
+/// order where lazy pulls would reorder Ξ writes on the shared output
+/// stream.
+class BufferCursor final : public Cursor {
+ public:
+  BufferCursor(ExecContext& ctx, CursorPtr input)
+      : ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    seq_ = Materialize(*input_);
+    if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(seq_.size());
+    pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    if (pos_ >= seq_.size()) return false;
+    *out = std::move(seq_[pos_++]);
+    return true;
+  }
+  void Close() override {
+    if (ctx_.stream != nullptr) ctx_.stream->OnRelease(seq_.size());
+  }
+
+ private:
+  ExecContext& ctx_;
+  CursorPtr input_;
+  Sequence seq_;
+  size_t pos_ = 0;
+};
+
+/// Left input of a binary operator. The materializing evaluator runs the
+/// left child to completion before the right one; the streaming cursors
+/// build the right (hash) side in Open and pull the left lazily afterwards.
+/// That flip is observable only when BOTH subtrees write to the Ξ output
+/// stream, in which case the left is buffered up front (its Open precedes
+/// the right-side build) to restore the evaluator's write order.
+CursorPtr MakeLeftCursor(const AlgebraOp& op, ExecContext& ctx) {
+  CursorPtr left = MakeCursor(*op.child(0), ctx);
+  if (ContainsXi(*op.child(0)) && ContainsXi(*op.child(1))) {
+    return std::make_unique<BufferCursor>(ctx, std::move(left));
+  }
+  return left;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining cursors
+// ---------------------------------------------------------------------------
+
+class SingletonCursor final : public Cursor {
+ public:
+  explicit SingletonCursor(ExecContext& ctx) : ctx_(ctx) {}
+  void Open() override { done_ = false; }
+  bool Next(Tuple* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = Tuple();
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  ExecContext& ctx_;
+  bool done_ = false;
+};
+
+class SelectCursor final : public Cursor {
+ public:
+  SelectCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override { input_->Open(); }
+  bool Next(Tuple* out) override {
+    Tuple t;
+    while (input_->Next(&t)) {
+      if (ctx_.ev->EvalPred(*op_.pred, t, *ctx_.env)) {
+        *out = std::move(t);
+        CountProduced(ctx_);
+        return true;
+      }
+    }
+    return false;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+};
+
+class ProjectCursor final : public Cursor {
+ public:
+  ProjectCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    input_->Open();
+    seen_.clear();
+  }
+  bool Next(Tuple* out) override {
+    Tuple t;
+    while (input_->Next(&t)) {
+      for (const auto& [to, from] : op_.renames) {
+        t = std::move(t).Rename(from, to);
+      }
+      switch (op_.pmode) {
+        case ProjectMode::kKeep:
+          if (!op_.attrs.empty()) t = t.Project(op_.attrs);
+          break;
+        case ProjectMode::kDrop:
+          t = std::move(t).Drop(op_.attrs);
+          break;
+        case ProjectMode::kDistinct: {
+          if (!op_.attrs.empty()) t = t.Project(op_.attrs);
+          Tuple atomized;
+          for (const auto& [a, v] : t.slots()) {
+            atomized.Set(a, v.Atomize(ctx_.ev->store()));
+          }
+          Key key;
+          for (const auto& [a, v] : atomized.slots()) key.values.push_back(v);
+          if (!seen_.insert(std::move(key)).second) continue;
+          t = std::move(atomized);
+          break;
+        }
+      }
+      *out = std::move(t);
+      CountProduced(ctx_);
+      return true;
+    }
+    return false;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  std::unordered_set<Key, KeyHash> seen_;
+};
+
+class MapCursor final : public Cursor {
+ public:
+  MapCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override { input_->Open(); }
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (!input_->Next(&t)) return false;
+    Value v = ctx_.ev->EvalExpr(*op_.expr, t, *ctx_.env);
+    t.Set(op_.attr, std::move(v));
+    *out = std::move(t);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+};
+
+class UnnestMapCursor final : public Cursor {
+ public:
+  UnnestMapCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    input_->Open();
+    items_.clear();
+    pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (pos_ < items_.size()) {
+        if (pos_ + 1 == items_.size()) {
+          // Last expansion of this input tuple: hand over our copy.
+          current_.Set(op_.attr, std::move(items_[pos_]));
+          *out = std::move(current_);
+        } else {
+          Tuple extended = current_;
+          extended.Set(op_.attr, items_[pos_]);
+          *out = std::move(extended);
+        }
+        ++pos_;
+        CountProduced(ctx_);
+        return true;
+      }
+      if (!input_->Next(&current_)) return false;
+      Value v = ctx_.ev->EvalExpr(*op_.expr, current_, *ctx_.env);
+      items_.clear();
+      pos_ = 0;
+      FlattenToItems(v, &items_);
+      if (items_.empty()) {
+        if (!op_.outer) continue;
+        current_.Set(op_.attr, Value::Null());
+        *out = std::move(current_);
+        CountProduced(ctx_);
+        return true;
+      }
+    }
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  Tuple current_;
+  ItemSeq items_;
+  size_t pos_ = 0;
+};
+
+class UnnestCursor final : public Cursor {
+ public:
+  UnnestCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)), drop_{op.attr} {
+    AttrInfo info = OutputAttrs(*op_.child(0));
+    auto it = info.nested.find(op_.attr);
+    if (it != info.nested.end()) {
+      bot_attrs_.assign(it->second.begin(), it->second.end());
+    }
+  }
+  void Open() override {
+    input_->Open();
+    nested_ = nullptr;
+    pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (nested_ != nullptr && pos_ < nested_->size()) {
+        *out = base_.Concat((*nested_)[pos_]);
+        ++pos_;
+        CountProduced(ctx_);
+        return true;
+      }
+      nested_ = nullptr;
+      Tuple t;
+      if (!input_->Next(&t)) return false;
+      Value v = t.Get(op_.attr);
+      base_ = std::move(t).Drop(drop_);
+      if (v.kind() == ValueKind::kTupleSeq) {
+        // Keep the nested sequence alive without copying it.
+        held_ = v.SharedTuples();
+        nested_ = held_.get();
+      } else {
+        ItemSeq items;
+        FlattenToItems(v, &items);
+        owned_ = TuplesFromItems(op_.attr, items);
+        nested_ = &owned_;
+      }
+      if (op_.distinct) {
+        // μD: value-based dedup of the nested sequence (paper: ΠD(g)).
+        Sequence deduped;
+        std::unordered_set<Key, KeyHash> seen;
+        for (const Tuple& u : *nested_) {
+          Key key;
+          for (const auto& [a, value] : u.slots()) {
+            key.values.push_back(value.Atomize(ctx_.ev->store()));
+          }
+          if (seen.insert(std::move(key)).second) deduped.Append(u);
+        }
+        owned_ = std::move(deduped);
+        nested_ = &owned_;
+        held_.reset();
+      }
+      pos_ = 0;
+      if (nested_->empty()) {
+        nested_ = nullptr;
+        if (op_.outer) {
+          // Paper μ: emit ⊥_{A(e.g)}.
+          *out = base_.Concat(Tuple::Nulls(bot_attrs_));
+          CountProduced(ctx_);
+          return true;
+        }
+      }
+    }
+  }
+  void Close() override {
+    input_->Close();
+    nested_ = nullptr;
+    held_.reset();
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  const std::vector<Symbol> drop_;
+  std::vector<Symbol> bot_attrs_;
+  Tuple base_;
+  std::shared_ptr<const Sequence> held_;
+  Sequence owned_;
+  const Sequence* nested_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Join cursors (right side materialized = hash build side; left side streams)
+// ---------------------------------------------------------------------------
+
+/// Shared helper: materializes the right operand and, when the predicate has
+/// equality conjuncts, builds the hash index over it.
+class JoinRightSide {
+ public:
+  void Build(const AlgebraOp& op, ExecContext& ctx, Cursor& right_cursor,
+             bool try_equi) {
+    right_ = Materialize(right_cursor);
+    if (ctx.stream != nullptr) ctx.stream->OnBuffer(right_.size());
+    if (try_equi) {
+      SymbolSet lattrs = OutputAttrs(*op.child(0)).attrs;
+      SymbolSet rattrs = OutputAttrs(*op.child(1)).attrs;
+      equi_ = ExtractEquiPredicate(op.pred, lattrs, rattrs);
+      if (equi_.has_value()) {
+        index_.Build(right_, equi_->right_attrs, ctx.ev->store());
+      }
+    }
+  }
+  void Release(ExecContext& ctx) {
+    if (released_) return;
+    released_ = true;
+    if (ctx.stream != nullptr) ctx.stream->OnRelease(right_.size());
+  }
+
+  const Sequence& right() const { return right_; }
+  bool has_equi() const { return equi_.has_value(); }
+  const EquiPredicate& equi() const { return *equi_; }
+  const HashIndex& index() const { return index_; }
+
+ private:
+  Sequence right_;
+  std::optional<EquiPredicate> equi_;
+  HashIndex index_;
+  bool released_ = false;
+};
+
+class CrossJoinCursor final : public Cursor {
+ public:
+  CrossJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
+                  CursorPtr right)
+      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {}
+  void Open() override {
+    left_->Open();
+    rhs_.Build(op_, ctx_, *right_, /*try_equi=*/op_.kind == OpKind::kJoin);
+    have_current_ = false;
+  }
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (have_current_) {
+        if (rhs_.has_equi()) {
+          while (pos_ < lookup_.size()) {
+            uint32_t rpos = lookup_[pos_++];
+            Tuple combined = current_.Concat(rhs_.right()[rpos]);
+            if (rhs_.equi().residual == nullptr ||
+                ctx_.ev->EvalPred(*rhs_.equi().residual, combined,
+                                  *ctx_.env)) {
+              *out = std::move(combined);
+              CountProduced(ctx_);
+              return true;
+            }
+          }
+        } else {
+          while (pos_ < rhs_.right().size()) {
+            Tuple combined = current_.Concat(rhs_.right()[pos_]);
+            ++pos_;
+            if (op_.kind == OpKind::kCross ||
+                ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
+              *out = std::move(combined);
+              CountProduced(ctx_);
+              return true;
+            }
+          }
+        }
+        have_current_ = false;
+      }
+      if (!left_->Next(&current_)) return false;
+      have_current_ = true;
+      pos_ = 0;
+      if (rhs_.has_equi()) {
+        rhs_.index().LookupInto(current_, rhs_.equi().left_attrs,
+                                ctx_.ev->store(), &key_scratch_, &lookup_);
+      }
+    }
+  }
+  void Close() override {
+    left_->Close();
+    rhs_.Release(ctx_);
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr left_;
+  CursorPtr right_;
+  JoinRightSide rhs_;
+  Tuple current_;
+  bool have_current_ = false;
+  std::vector<Key> key_scratch_;
+  std::vector<uint32_t> lookup_;
+  size_t pos_ = 0;
+};
+
+class SemiAntiJoinCursor final : public Cursor {
+ public:
+  SemiAntiJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
+                     CursorPtr right)
+      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {}
+  void Open() override {
+    left_->Open();
+    rhs_.Build(op_, ctx_, *right_, /*try_equi=*/true);
+  }
+  bool Next(Tuple* out) override {
+    const bool anti = op_.kind == OpKind::kAntiJoin;
+    Tuple l;
+    while (left_->Next(&l)) {
+      bool matched = false;
+      if (rhs_.has_equi()) {
+        rhs_.index().LookupInto(l, rhs_.equi().left_attrs, ctx_.ev->store(),
+                                &key_scratch_, &lookup_);
+        for (uint32_t pos : lookup_) {
+          if (rhs_.equi().residual == nullptr ||
+              ctx_.ev->EvalPred(*rhs_.equi().residual,
+                                l.Concat(rhs_.right()[pos]), *ctx_.env)) {
+            matched = true;
+            break;
+          }
+        }
+      } else {
+        for (const Tuple& r : rhs_.right()) {
+          if (ctx_.ev->EvalPred(*op_.pred, l.Concat(r), *ctx_.env)) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched != anti) {
+        *out = std::move(l);
+        CountProduced(ctx_);
+        return true;
+      }
+    }
+    return false;
+  }
+  void Close() override {
+    left_->Close();
+    rhs_.Release(ctx_);
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr left_;
+  CursorPtr right_;
+  JoinRightSide rhs_;
+  std::vector<Key> key_scratch_;
+  std::vector<uint32_t> lookup_;
+};
+
+class OuterJoinCursor final : public Cursor {
+ public:
+  OuterJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
+                  CursorPtr right)
+      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {
+    AttrInfo info = OutputAttrs(*op_.child(1));
+    for (Symbol a : info.attrs) {
+      if (a != op_.attr) null_attrs_.push_back(a);
+    }
+  }
+  void Open() override {
+    left_->Open();
+    rhs_.Build(op_, ctx_, *right_, /*try_equi=*/true);
+    dflt_ = op_.expr != nullptr
+                ? ctx_.ev->EvalExpr(*op_.expr, Tuple(), *ctx_.env)
+                : Value::Null();
+    have_current_ = false;
+  }
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (have_current_) {
+        if (rhs_.has_equi()) {
+          while (pos_ < lookup_.size()) {
+            uint32_t rpos = lookup_[pos_++];
+            Tuple combined = current_.Concat(rhs_.right()[rpos]);
+            if (rhs_.equi().residual == nullptr ||
+                ctx_.ev->EvalPred(*rhs_.equi().residual, combined,
+                                  *ctx_.env)) {
+              matched_ = true;
+              *out = std::move(combined);
+              CountProduced(ctx_);
+              return true;
+            }
+          }
+        } else {
+          while (pos_ < rhs_.right().size()) {
+            Tuple combined = current_.Concat(rhs_.right()[pos_]);
+            ++pos_;
+            if (ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
+              matched_ = true;
+              *out = std::move(combined);
+              CountProduced(ctx_);
+              return true;
+            }
+          }
+        }
+        have_current_ = false;
+        if (!matched_) {
+          Tuple t = current_.Concat(Tuple::Nulls(null_attrs_));
+          t.Set(op_.attr, dflt_);
+          *out = std::move(t);
+          CountProduced(ctx_);
+          return true;
+        }
+      }
+      if (!left_->Next(&current_)) return false;
+      have_current_ = true;
+      matched_ = false;
+      pos_ = 0;
+      if (rhs_.has_equi()) {
+        rhs_.index().LookupInto(current_, rhs_.equi().left_attrs,
+                                ctx_.ev->store(), &key_scratch_, &lookup_);
+      }
+    }
+  }
+  void Close() override {
+    left_->Close();
+    rhs_.Release(ctx_);
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr left_;
+  CursorPtr right_;
+  JoinRightSide rhs_;
+  std::vector<Symbol> null_attrs_;
+  Value dflt_;
+  Tuple current_;
+  bool have_current_ = false;
+  bool matched_ = false;
+  std::vector<Key> key_scratch_;
+  std::vector<uint32_t> lookup_;
+  size_t pos_ = 0;
+};
+
+class GroupBinaryCursor final : public Cursor {
+ public:
+  GroupBinaryCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
+                    CursorPtr right)
+      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {}
+  void Open() override {
+    left_->Open();
+    right_seq_ = Materialize(*right_);
+    if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(right_seq_.size());
+    if (op_.theta == CmpOp::kEq) {
+      index_.Build(right_seq_, op_.right_attrs, ctx_.ev->store());
+    } else if (op_.left_attrs.size() != 1) {
+      throw std::runtime_error("theta nest-join requires a single attribute");
+    }
+  }
+  bool Next(Tuple* out) override {
+    Tuple l;
+    if (!left_->Next(&l)) return false;
+    Sequence group;
+    if (op_.theta == CmpOp::kEq) {
+      index_.LookupInto(l, op_.left_attrs, ctx_.ev->store(), &key_scratch_,
+                        &lookup_);
+      for (uint32_t pos : lookup_) {
+        group.Append(right_seq_[pos]);
+      }
+    } else {
+      for (const Tuple& r : right_seq_) {
+        if (ctx_.ev->GeneralCompare(op_.theta, l.Get(op_.left_attrs[0]),
+                                    r.Get(op_.right_attrs[0]))) {
+          group.Append(r);
+        }
+      }
+    }
+    Value agg = ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env);
+    l.Set(op_.attr, std::move(agg));
+    *out = std::move(l);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {
+    left_->Close();
+    if (ctx_.stream != nullptr) ctx_.stream->OnRelease(right_seq_.size());
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr left_;
+  CursorPtr right_;
+  Sequence right_seq_;
+  HashIndex index_;
+  std::vector<Key> key_scratch_;
+  std::vector<uint32_t> lookup_;
+};
+
+// ---------------------------------------------------------------------------
+// Full pipeline breakers
+// ---------------------------------------------------------------------------
+
+class GroupUnaryCursor final : public Cursor {
+ public:
+  GroupUnaryCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    input_seq_ = Materialize(*input_);
+    if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(input_seq_.size());
+    // Distinct keys in first-occurrence order (ΠD semantics: deterministic).
+    std::vector<Key> keys;
+    for (uint32_t i = 0; i < input_seq_.size(); ++i) {
+      MakeKeysInto(input_seq_[i], op_.left_attrs, ctx_.ev->store(), &keys);
+      if (keys.size() > 1) multi_key_ = true;
+      for (Key& k : keys) {
+        auto [it, inserted] = buckets_.try_emplace(k);
+        if (inserted) order_.push_back(k);
+        it->second.push_back(i);
+      }
+    }
+    next_key_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    if (next_key_ >= order_.size()) return false;
+    const Key& key = order_[next_key_++];
+    Sequence group;
+    if (op_.theta == CmpOp::kEq) {
+      // Unless a sequence-valued key put a tuple into several buckets, each
+      // input tuple belongs to exactly one group: hand it over.
+      for (uint32_t pos : buckets_[key]) {
+        if (multi_key_) {
+          group.Append(input_seq_[pos]);
+        } else {
+          group.Append(std::move(input_seq_[pos]));
+        }
+      }
+    } else {
+      // θ-grouping: group for key v = σ_{v θ A}(e).
+      if (op_.left_attrs.size() != 1) {
+        throw std::runtime_error("theta-grouping requires a single attribute");
+      }
+      for (const Tuple& u : input_seq_) {
+        if (ctx_.ev->GeneralCompare(op_.theta, key.values[0],
+                                    u.Get(op_.left_attrs[0]))) {
+          group.Append(u);
+        }
+      }
+    }
+    Tuple result;
+    for (size_t j = 0; j < op_.left_attrs.size(); ++j) {
+      result.Set(op_.left_attrs[j], key.values[j]);
+    }
+    result.Set(op_.attr, ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env));
+    *out = std::move(result);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {
+    if (ctx_.stream != nullptr) ctx_.stream->OnRelease(input_seq_.size());
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  Sequence input_seq_;
+  std::vector<Key> order_;
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets_;
+  bool multi_key_ = false;
+  size_t next_key_ = 0;
+};
+
+class SortCursor final : public Cursor {
+ public:
+  SortCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    input_seq_ = Materialize(*input_);
+    if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(input_seq_.size());
+    idx_.resize(input_seq_.size());
+    for (uint32_t i = 0; i < idx_.size(); ++i) idx_[i] = i;
+    std::vector<std::vector<Value>> keys(input_seq_.size());
+    for (uint32_t i = 0; i < input_seq_.size(); ++i) {
+      for (Symbol a : op_.attrs) {
+        keys[i].push_back(input_seq_[i].Get(a).Atomize(ctx_.ev->store()));
+      }
+    }
+    std::stable_sort(idx_.begin(), idx_.end(), [&](uint32_t a, uint32_t b) {
+      for (size_t j = 0; j < op_.attrs.size(); ++j) {
+        auto c = Value::Compare(keys[a][j], keys[b][j]);
+        if (c != std::strong_ordering::equal) {
+          bool descending = j < op_.sort_desc.size() && op_.sort_desc[j] != 0;
+          return descending ? c == std::strong_ordering::greater
+                            : c == std::strong_ordering::less;
+        }
+      }
+      return false;
+    });
+    pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    if (pos_ >= idx_.size()) return false;
+    *out = std::move(input_seq_[idx_[pos_++]]);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {
+    if (ctx_.stream != nullptr) ctx_.stream->OnRelease(input_seq_.size());
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  Sequence input_seq_;
+  std::vector<uint32_t> idx_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Result construction
+// ---------------------------------------------------------------------------
+
+class XiSimpleCursor final : public Cursor {
+ public:
+  XiSimpleCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op),
+        ctx_(ctx),
+        input_(std::move(input)),
+        // A Ξ below us would interleave its output writes with ours under
+        // tuple-at-a-time pulls; buffering our input restores the
+        // materializing evaluator's "child first, then us" write order.
+        buffer_input_(ContainsXi(*op.child(0))) {}
+  void Open() override {
+    if (buffer_input_) {
+      input_seq_ = Materialize(*input_);
+      if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(input_seq_.size());
+      pos_ = 0;
+    } else {
+      input_->Open();
+    }
+  }
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (buffer_input_) {
+      if (pos_ >= input_seq_.size()) return false;
+      t = std::move(input_seq_[pos_++]);
+    } else if (!input_->Next(&t)) {
+      return false;
+    }
+    ctx_.ev->RunXiProgram(op_.s1, t, *ctx_.env);
+    *out = std::move(t);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {
+    if (buffer_input_) {
+      if (ctx_.stream != nullptr) ctx_.stream->OnRelease(input_seq_.size());
+    } else {
+      input_->Close();
+    }
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  bool buffer_input_;
+  Sequence input_seq_;
+  size_t pos_ = 0;
+};
+
+class XiGroupCursor final : public Cursor {
+ public:
+  XiGroupCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+      : op_(op), ctx_(ctx), input_(std::move(input)) {}
+  void Open() override {
+    input_seq_ = Materialize(*input_);
+    if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(input_seq_.size());
+    std::vector<Key> keys;
+    for (uint32_t i = 0; i < input_seq_.size(); ++i) {
+      MakeKeysInto(input_seq_[i], op_.attrs, ctx_.ev->store(), &keys);
+      for (Key& k : keys) {
+        auto [it, inserted] = buckets_.try_emplace(k);
+        if (inserted) order_.push_back(k);
+        it->second.push_back(i);
+      }
+    }
+    next_key_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    if (next_key_ >= order_.size()) return false;
+    const Key& key = order_[next_key_++];
+    const std::vector<uint32_t>& members = buckets_[key];
+    Tuple rep;
+    for (size_t j = 0; j < op_.attrs.size(); ++j) {
+      rep.Set(op_.attrs[j], key.values[j]);
+    }
+    // The group attributes carry the atomized key (ΠD semantics); they win
+    // over the inner tuple's original values in s1/s3.
+    ctx_.ev->RunXiProgram(op_.s1, input_seq_[members.front()].Concat(rep),
+                          *ctx_.env);
+    for (uint32_t pos : members) {
+      ctx_.ev->RunXiProgram(op_.s2, input_seq_[pos], *ctx_.env);
+    }
+    ctx_.ev->RunXiProgram(op_.s3, input_seq_[members.back()].Concat(rep),
+                          *ctx_.env);
+    *out = std::move(rep);
+    CountProduced(ctx_);
+    return true;
+  }
+  void Close() override {
+    if (ctx_.stream != nullptr) ctx_.stream->OnRelease(input_seq_.size());
+  }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  Sequence input_seq_;
+  std::vector<Key> order_;
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets_;
+  size_t next_key_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Common-subexpression sharing
+// ---------------------------------------------------------------------------
+
+/// Wraps the operator cursor of a node with cse_id >= 0: on first Open the
+/// node is computed once (through its own counting cursor tree) and stored in
+/// the evaluator's CSE cache; every consumer — including nested subscript
+/// evaluations going through Evaluator::EvalOp — then streams from the
+/// cached sequence without re-computing or re-counting, exactly like the
+/// materializing evaluator's cache-hit path.
+class CseCursor final : public Cursor {
+ public:
+  CseCursor(const AlgebraOp& op, ExecContext& ctx)
+      : op_(op), ctx_(ctx) {}
+  void Open() override {
+    const Sequence* cached = ctx_.ev->CseFind(op_.cse_id);
+    if (cached == nullptr) {
+      CursorPtr inner = MakeOpCursor(op_, ctx_);
+      cached = &ctx_.ev->CseStore(op_.cse_id, Materialize(*inner));
+      // The cache retains the sequence for the rest of the run; charge it as
+      // buffered without release.
+      if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(cached->size());
+    }
+    cached_ = cached;
+    pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    if (pos_ >= cached_->size()) return false;
+    *out = (*cached_)[pos_++];
+    return true;  // cache hits are not re-counted (parity with EvalOp)
+  }
+  void Close() override {}
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  const Sequence* cached_ = nullptr;
+  size_t pos_ = 0;
+};
+
+CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx) {
+  switch (op.kind) {
+    case OpKind::kSingleton:
+      return std::make_unique<SingletonCursor>(ctx);
+    case OpKind::kSelect:
+      return std::make_unique<SelectCursor>(op, ctx,
+                                            MakeCursor(*op.child(0), ctx));
+    case OpKind::kProject:
+      return std::make_unique<ProjectCursor>(op, ctx,
+                                             MakeCursor(*op.child(0), ctx));
+    case OpKind::kMap:
+      return std::make_unique<MapCursor>(op, ctx,
+                                         MakeCursor(*op.child(0), ctx));
+    case OpKind::kUnnestMap:
+      return std::make_unique<UnnestMapCursor>(op, ctx,
+                                               MakeCursor(*op.child(0), ctx));
+    case OpKind::kUnnest:
+      return std::make_unique<UnnestCursor>(op, ctx,
+                                            MakeCursor(*op.child(0), ctx));
+    case OpKind::kCross:
+    case OpKind::kJoin:
+      return std::make_unique<CrossJoinCursor>(
+          op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+      return std::make_unique<SemiAntiJoinCursor>(
+          op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
+    case OpKind::kOuterJoin:
+      return std::make_unique<OuterJoinCursor>(
+          op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
+    case OpKind::kGroupUnary:
+      return std::make_unique<GroupUnaryCursor>(op, ctx,
+                                                MakeCursor(*op.child(0), ctx));
+    case OpKind::kGroupBinary:
+      return std::make_unique<GroupBinaryCursor>(
+          op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
+    case OpKind::kSort:
+      return std::make_unique<SortCursor>(op, ctx,
+                                          MakeCursor(*op.child(0), ctx));
+    case OpKind::kXiSimple:
+      return std::make_unique<XiSimpleCursor>(op, ctx,
+                                              MakeCursor(*op.child(0), ctx));
+    case OpKind::kXiGroup:
+      return std::make_unique<XiGroupCursor>(op, ctx,
+                                             MakeCursor(*op.child(0), ctx));
+  }
+  throw std::logic_error("unknown operator kind");
+}
+
+}  // namespace
+
+CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx) {
+  if (op.cse_id >= 0 && ctx.env->empty()) {
+    return std::make_unique<CseCursor>(op, ctx);
+  }
+  return MakeOpCursor(op, ctx);
+}
+
+uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
+                        StreamStats* stream) {
+  ev.ClearCse();
+  Tuple env;
+  ExecContext ctx{&ev, &env, stream};
+  CursorPtr root = MakeCursor(op, ctx);
+  uint64_t count = 0;
+  Tuple t;
+  root->Open();
+  while (root->Next(&t)) ++count;
+  root->Close();
+  return count;
+}
+
+Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
+                          StreamStats* stream) {
+  ev.ClearCse();
+  Tuple env;
+  ExecContext ctx{&ev, &env, stream};
+  CursorPtr root = MakeCursor(op, ctx);
+  Sequence out;
+  Tuple t;
+  root->Open();
+  while (root->Next(&t)) out.Append(std::move(t));
+  root->Close();
+  return out;
+}
+
+}  // namespace nalq::nal

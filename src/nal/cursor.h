@@ -1,0 +1,91 @@
+// Streaming, Volcano-style pull executor for the NAL algebra.
+//
+// One cursor per operator with the classic Open/Next/Close protocol.
+// Tuples flow one at a time from the leaves to the root; a full intermediate
+// Sequence is materialized only at the true pipeline breakers:
+//
+//   * Sort            — needs its whole input before the first output tuple,
+//   * hash build sides — the right operand of ⋈/⋉/▷/outer-join/binary-Γ,
+//   * Γ group construction — unary Γ and the group-detecting Ξ bucket their
+//                       whole input by key,
+//   * CSE nodes       — a shared subtree is computed once and its result
+//                       re-read, which requires the result to exist,
+//   * Ξ over Ξ        — a Ξ cursor materializes its input iff the subtree
+//                       below it contains another Ξ, so interleaving pulls
+//                       can never reorder writes on the shared output stream.
+//
+// Everything else (σ, Π, χ, Υ, μ, the probe side of every join, Ξ) streams.
+//
+// Order preservation: probes run in left-input order and hash buckets keep
+// positions in right-input order (physical.h), exactly like the materializing
+// evaluator — so the streamed output is tuple-for-tuple identical to
+// Evaluator::Eval, and the EvalStats counters (nested_alg_evals, doc_scans,
+// tuples_produced, predicate_evals, xpath) count identically. The
+// differential suite in tests/streaming_exec_test.cpp asserts both.
+#ifndef NALQ_NAL_CURSOR_H_
+#define NALQ_NAL_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "nal/algebra.h"
+#include "nal/eval.h"
+
+namespace nalq::nal {
+
+/// Streaming-executor bookkeeping, independent of EvalStats (which must stay
+/// byte-identical across executors). Tracks how much the pipeline buffers so
+/// tests can assert that pipelineable plans never materialize an
+/// intermediate.
+struct StreamStats {
+  uint64_t buffered_tuples = 0;   ///< currently live in breaker buffers
+  uint64_t peak_buffered = 0;     ///< high-water mark of the above
+  uint64_t materialized_nodes = 0;  ///< breaker nodes that actually buffered
+
+  void OnBuffer(uint64_t n) {
+    buffered_tuples += n;
+    if (buffered_tuples > peak_buffered) peak_buffered = buffered_tuples;
+    ++materialized_nodes;
+  }
+  void OnRelease(uint64_t n) { buffered_tuples -= n; }
+};
+
+/// The Volcano iterator protocol. Cursors are single-use: Open once, Next
+/// until false, Close. Each cursor owns its children.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+  virtual void Open() = 0;
+  /// Produces the next tuple into `*out`; false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() = 0;
+};
+
+using CursorPtr = std::unique_ptr<Cursor>;
+
+/// Shared state of one streaming execution: the evaluator supplies
+/// expression evaluation, statistics, the Ξ output stream and the CSE cache;
+/// `env` is the (top-level, empty) outer binding every operator sees.
+struct ExecContext {
+  Evaluator* ev = nullptr;
+  const Tuple* env = nullptr;
+  StreamStats* stream = nullptr;  ///< optional
+};
+
+/// Builds the cursor tree for `op`. `ctx` must outlive the cursor.
+CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx);
+
+/// Pull-runs `op` to exhaustion, discarding root tuples (Ξ side effects
+/// accumulate on the evaluator's output stream). Clears the CSE cache first,
+/// mirroring Evaluator::Eval. Returns the number of root tuples.
+uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
+                        StreamStats* stream = nullptr);
+
+/// Pull-runs `op` and collects the root output — the streaming counterpart
+/// of Evaluator::Eval, used by the differential tests.
+Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
+                          StreamStats* stream = nullptr);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_CURSOR_H_

@@ -68,7 +68,7 @@ Value Evaluator::EvalExpr(const Expr& e, const Tuple& local,
     case ExprKind::kConst:
       return e.literal;
     case ExprKind::kAttrRef:
-      if (local.Has(e.attr)) return local.Get(e.attr);
+      if (const Value* v = local.Find(e.attr)) return *v;
       return env.Get(e.attr);
     case ExprKind::kCmp: {
       Value lhs = EvalExpr(*e.children[0], local, env);
@@ -441,10 +441,15 @@ Value Evaluator::EvalPathExpr(const Expr& e, const Tuple& local,
                               const Tuple& env) {
   Value base = EvalExpr(*e.children[0], local, env);
   std::vector<xml::NodeRef> contexts;
-  ItemSeq items;
-  FlattenToItems(base, &items);
-  for (const Value& v : items) {
-    if (v.kind() == ValueKind::kNode) contexts.push_back(v.AsNode());
+  if (base.kind() == ValueKind::kNode) {
+    // Single-node context — the per-tuple hot path; skip the flatten.
+    contexts.push_back(base.AsNode());
+  } else {
+    ItemSeq items;
+    FlattenToItems(base, &items);
+    for (const Value& v : items) {
+      if (v.kind() == ValueKind::kNode) contexts.push_back(v.AsNode());
+    }
   }
   // Count document scans: a descendant-axis step evaluated from a document
   // root visits (a superset of) the whole document.
@@ -458,9 +463,9 @@ Value Evaluator::EvalPathExpr(const Expr& e, const Tuple& local,
       }
     }
   }
-  std::vector<xml::NodeRef> result;
+  static thread_local std::vector<xml::NodeRef> result;
   if (contexts.size() == 1) {
-    result = xml::EvalPath(store_, e.path, contexts[0], &stats_.xpath);
+    xml::EvalPathInto(store_, e.path, contexts[0], &stats_.xpath, &result);
   } else {
     result = xml::EvalPath(store_, e.path,
                            std::span<const xml::NodeRef>(contexts),
@@ -478,8 +483,7 @@ Value Evaluator::EvalPathExpr(const Expr& e, const Tuple& local,
 
 Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
   if (op.cse_id >= 0 && env.empty()) {
-    auto it = cse_cache_.find(op.cse_id);
-    if (it != cse_cache_.end()) return it->second;
+    if (const Sequence* cached = CseFind(op.cse_id)) return *cached;
   }
   Sequence out;
   switch (op.kind) {
@@ -530,7 +534,9 @@ Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
   }
   stats_.tuples_produced += out.size();
   if (op.cse_id >= 0 && env.empty()) {
-    cse_cache_[op.cse_id] = out;
+    // Move into the cache, hand the caller a copy: one copy on the cold
+    // path instead of two.
+    return CseStore(op.cse_id, std::move(out));
   }
   return out;
 }
@@ -538,8 +544,8 @@ Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
 Sequence Evaluator::EvalSelect(const AlgebraOp& op, const Tuple& env) {
   Sequence input = EvalOp(*op.child(0), env);
   Sequence out;
-  for (const Tuple& t : input) {
-    if (EvalPred(*op.pred, t, env)) out.Append(t);
+  for (Tuple& t : input) {
+    if (EvalPred(*op.pred, t, env)) out.Append(std::move(t));
   }
   return out;
 }
@@ -548,16 +554,18 @@ Sequence Evaluator::EvalProject(const AlgebraOp& op, const Tuple& env) {
   Sequence input = EvalOp(*op.child(0), env);
   Sequence out;
   std::unordered_set<Key, KeyHash> seen;
-  for (const Tuple& t : input) {
-    Tuple t2 = t;
-    for (const auto& [to, from] : op.renames) t2 = t2.Rename(from, to);
+  for (Tuple& t : input) {
+    Tuple t2 = std::move(t);
+    for (const auto& [to, from] : op.renames) {
+      t2 = std::move(t2).Rename(from, to);
+    }
     switch (op.pmode) {
       case ProjectMode::kKeep:
         if (!op.attrs.empty()) t2 = t2.Project(op.attrs);
         out.Append(std::move(t2));
         break;
       case ProjectMode::kDrop:
-        out.Append(t2.Drop(op.attrs));
+        out.Append(std::move(t2).Drop(op.attrs));
         break;
       case ProjectMode::kDistinct: {
         if (!op.attrs.empty()) t2 = t2.Project(op.attrs);
@@ -584,10 +592,10 @@ Sequence Evaluator::EvalMap(const AlgebraOp& op, const Tuple& env) {
   Sequence input = EvalOp(*op.child(0), env);
   Sequence out;
   out.Reserve(input.size());
-  for (const Tuple& t : input) {
-    Tuple extended = t;
-    extended.Set(op.attr, EvalExpr(*op.expr, t, env));
-    out.Append(std::move(extended));
+  for (Tuple& t : input) {
+    Value v = EvalExpr(*op.expr, t, env);
+    t.Set(op.attr, std::move(v));
+    out.Append(std::move(t));
   }
   return out;
 }
@@ -595,20 +603,25 @@ Sequence Evaluator::EvalMap(const AlgebraOp& op, const Tuple& env) {
 Sequence Evaluator::EvalUnnestMap(const AlgebraOp& op, const Tuple& env) {
   Sequence input = EvalOp(*op.child(0), env);
   Sequence out;
-  for (const Tuple& t : input) {
+  for (Tuple& t : input) {
     Value v = EvalExpr(*op.expr, t, env);
     ItemSeq items;
     FlattenToItems(v, &items);
     if (items.empty() && op.outer) {
-      Tuple extended = t;
-      extended.Set(op.attr, Value::Null());
-      out.Append(std::move(extended));
+      t.Set(op.attr, Value::Null());
+      out.Append(std::move(t));
       continue;
     }
-    for (const Value& item : items) {
-      Tuple extended = t;
-      extended.Set(op.attr, item);
-      out.Append(std::move(extended));
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i + 1 == items.size()) {
+        // Last expansion: the input tuple is ours to reuse.
+        t.Set(op.attr, std::move(items[i]));
+        out.Append(std::move(t));
+      } else {
+        Tuple extended = t;
+        extended.Set(op.attr, items[i]);
+        out.Append(std::move(extended));
+      }
     }
   }
   return out;
@@ -628,41 +641,45 @@ Sequence Evaluator::EvalUnnest(const AlgebraOp& op, const Tuple& env) {
   }
   std::vector<Symbol> drop = {op.attr};
   Sequence out;
-  for (const Tuple& t : input) {
-    const Value& v = t.Get(op.attr);
-    Tuple base = t.Drop(drop);
-    auto emit_tuple = [&](const Tuple& inner) {
-      out.Append(base.Concat(inner));
-    };
-    Sequence nested;
+  for (Tuple& t : input) {
+    Value v = t.Get(op.attr);
+    Tuple base = std::move(t).Drop(drop);
+    // Read the nested sequence in place (no copy) when it is already
+    // tuple-shaped and needs no dedup.
+    std::shared_ptr<const Sequence> held;
+    Sequence owned;
+    const Sequence* nested = nullptr;
     if (v.kind() == ValueKind::kTupleSeq) {
-      nested = v.AsTuples();
+      held = v.SharedTuples();
+      nested = held.get();
     } else {
       ItemSeq items;
       FlattenToItems(v, &items);
-      nested = TuplesFromItems(op.attr, items);
+      owned = TuplesFromItems(op.attr, items);
+      nested = &owned;
     }
     if (op.distinct) {
       // μD: value-based dedup of the nested sequence (paper: ΠD(g)).
       Sequence deduped;
       std::unordered_set<Key, KeyHash> seen;
-      for (const Tuple& u : nested) {
+      for (const Tuple& u : *nested) {
         Key key;
         for (const auto& [a, value] : u.slots()) {
           key.values.push_back(value.Atomize(store_));
         }
         if (seen.insert(std::move(key)).second) deduped.Append(u);
       }
-      nested = std::move(deduped);
+      owned = std::move(deduped);
+      nested = &owned;
     }
-    if (nested.empty()) {
+    if (nested->empty()) {
       if (op.outer) {
         // Paper μ: emit ⊥_{A(e.g)}.
-        emit_tuple(Tuple::Nulls(bot_attrs));
+        out.Append(base.Concat(Tuple::Nulls(bot_attrs)));
       }
       continue;
     }
-    for (const Tuple& u : nested) emit_tuple(u);
+    for (const Tuple& u : *nested) out.Append(base.Concat(u));
   }
   return out;
 }
@@ -679,8 +696,11 @@ Sequence Evaluator::EvalCrossJoin(const AlgebraOp& op, const Tuple& env) {
     if (equi.has_value()) {
       HashIndex index;
       index.Build(right, equi->right_attrs, store_);
+      std::vector<Key> keys;
+      std::vector<uint32_t> lookup;
       for (const Tuple& l : left) {
-        for (uint32_t pos : index.Lookup(l, equi->left_attrs, store_)) {
+        index.LookupInto(l, equi->left_attrs, store_, &keys, &lookup);
+        for (uint32_t pos : lookup) {
           Tuple combined = l.Concat(right[pos]);
           if (equi->residual == nullptr ||
               EvalPred(*equi->residual, combined, env)) {
@@ -715,20 +735,23 @@ Sequence Evaluator::EvalSemiAntiJoin(const AlgebraOp& op, const Tuple& env) {
   if (equi.has_value()) {
     HashIndex index;
     index.Build(right, equi->right_attrs, store_);
-    for (const Tuple& l : left) {
+    std::vector<Key> keys;
+    std::vector<uint32_t> lookup;
+    for (Tuple& l : left) {
       bool matched = false;
-      for (uint32_t pos : index.Lookup(l, equi->left_attrs, store_)) {
+      index.LookupInto(l, equi->left_attrs, store_, &keys, &lookup);
+      for (uint32_t pos : lookup) {
         if (equi->residual == nullptr ||
             EvalPred(*equi->residual, l.Concat(right[pos]), env)) {
           matched = true;
           break;
         }
       }
-      if (matched != anti) out.Append(l);
+      if (matched != anti) out.Append(std::move(l));
     }
     return out;
   }
-  for (const Tuple& l : left) {
+  for (Tuple& l : left) {
     bool matched = false;
     for (const Tuple& r : right) {
       if (EvalPred(*op.pred, l.Concat(r), env)) {
@@ -736,7 +759,7 @@ Sequence Evaluator::EvalSemiAntiJoin(const AlgebraOp& op, const Tuple& env) {
         break;
       }
     }
-    if (matched != anti) out.Append(l);
+    if (matched != anti) out.Append(std::move(l));
   }
   return out;
 }
@@ -767,9 +790,12 @@ Sequence Evaluator::EvalOuterJoin(const AlgebraOp& op, const Tuple& env) {
   if (equi.has_value()) {
     HashIndex index;
     index.Build(right, equi->right_attrs, store_);
+    std::vector<Key> keys;
+    std::vector<uint32_t> lookup;
     for (const Tuple& l : left) {
       bool matched = false;
-      for (uint32_t pos : index.Lookup(l, equi->left_attrs, store_)) {
+      index.LookupInto(l, equi->left_attrs, store_, &keys, &lookup);
+      for (uint32_t pos : lookup) {
         Tuple combined = l.Concat(right[pos]);
         if (equi->residual == nullptr ||
             EvalPred(*equi->residual, combined, env)) {
@@ -801,8 +827,12 @@ Sequence Evaluator::EvalGroupUnary(const AlgebraOp& op, const Tuple& env) {
   // Distinct keys in first-occurrence order (ΠD semantics: deterministic).
   std::vector<Key> order;
   std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets;
+  std::vector<Key> keys;
+  bool multi_key = false;
   for (uint32_t i = 0; i < input.size(); ++i) {
-    for (Key& k : MakeKeys(input[i], op.left_attrs, store_)) {
+    MakeKeysInto(input[i], op.left_attrs, store_, &keys);
+    if (keys.size() > 1) multi_key = true;
+    for (Key& k : keys) {
       auto [it, inserted] = buckets.try_emplace(k);
       if (inserted) order.push_back(k);
       it->second.push_back(i);
@@ -811,7 +841,15 @@ Sequence Evaluator::EvalGroupUnary(const AlgebraOp& op, const Tuple& env) {
   for (const Key& key : order) {
     Sequence group;
     if (op.theta == CmpOp::kEq) {
-      for (uint32_t pos : buckets[key]) group.Append(input[pos]);
+      // Unless a sequence-valued key put a tuple into several buckets, each
+      // input tuple belongs to exactly one group: hand it over.
+      for (uint32_t pos : buckets[key]) {
+        if (multi_key) {
+          group.Append(input[pos]);
+        } else {
+          group.Append(std::move(input[pos]));
+        }
+      }
     } else {
       // θ-grouping: group for key v = σ_{v θ A}(e).
       if (op.left_attrs.size() != 1) {
@@ -827,7 +865,7 @@ Sequence Evaluator::EvalGroupUnary(const AlgebraOp& op, const Tuple& env) {
     for (size_t j = 0; j < op.left_attrs.size(); ++j) {
       result.Set(op.left_attrs[j], key.values[j]);
     }
-    result.Set(op.attr, ApplyAgg(op.agg, group, env));
+    result.Set(op.attr, ApplyAgg(op.agg, std::move(group), env));
     out.Append(std::move(result));
   }
   return out;
@@ -841,21 +879,23 @@ Sequence Evaluator::EvalGroupBinary(const AlgebraOp& op, const Tuple& env) {
   if (op.theta == CmpOp::kEq) {
     HashIndex index;
     index.Build(right, op.right_attrs, store_);
-    for (const Tuple& l : left) {
+    std::vector<Key> keys;
+    std::vector<uint32_t> lookup;
+    for (Tuple& l : left) {
       Sequence group;
-      for (uint32_t pos : index.Lookup(l, op.left_attrs, store_)) {
+      index.LookupInto(l, op.left_attrs, store_, &keys, &lookup);
+      for (uint32_t pos : lookup) {
         group.Append(right[pos]);
       }
-      Tuple result = l;
-      result.Set(op.attr, ApplyAgg(op.agg, group, env));
-      out.Append(std::move(result));
+      l.Set(op.attr, ApplyAgg(op.agg, std::move(group), env));
+      out.Append(std::move(l));
     }
     return out;
   }
   if (op.left_attrs.size() != 1) {
     throw std::runtime_error("theta nest-join requires a single attribute");
   }
-  for (const Tuple& l : left) {
+  for (Tuple& l : left) {
     Sequence group;
     for (const Tuple& r : right) {
       if (GeneralCompare(op.theta, l.Get(op.left_attrs[0]),
@@ -863,9 +903,8 @@ Sequence Evaluator::EvalGroupBinary(const AlgebraOp& op, const Tuple& env) {
         group.Append(r);
       }
     }
-    Tuple result = l;
-    result.Set(op.attr, ApplyAgg(op.agg, group, env));
-    out.Append(std::move(result));
+    l.Set(op.attr, ApplyAgg(op.agg, std::move(group), env));
+    out.Append(std::move(l));
   }
   return out;
 }
@@ -893,8 +932,21 @@ Sequence Evaluator::EvalSort(const AlgebraOp& op, const Tuple& env) {
   });
   Sequence out;
   out.Reserve(input.size());
-  for (uint32_t i : idx) out.Append(input[i]);
+  for (uint32_t i : idx) out.Append(std::move(input[i]));
   return out;
+}
+
+const std::string& Evaluator::RenderedNode(xml::NodeRef ref) const {
+  auto [it, inserted] = render_cache_.try_emplace(ref);
+  if (inserted) {
+    const xml::Document& doc = store_.doc_of(ref);
+    if (doc.kind(ref.id) == xml::NodeKind::kElement) {
+      xml::SerializeTo(doc, ref.id, &it->second);
+    } else {
+      it->second = xml::EncodeEntities(*doc.SharedStringValue(ref.id));
+    }
+  }
+  return it->second;
 }
 
 void Evaluator::RenderValue(const Value& v, std::string* out) const {
@@ -902,13 +954,7 @@ void Evaluator::RenderValue(const Value& v, std::string* out) const {
     case ValueKind::kNull:
       return;
     case ValueKind::kNode: {
-      const xml::Document& doc = store_.doc_of(v.AsNode());
-      xml::NodeId id = v.AsNode().id;
-      if (doc.kind(id) == xml::NodeKind::kElement) {
-        xml::SerializeTo(doc, id, out);
-      } else {
-        *out += xml::EncodeEntities(doc.StringValue(id));
-      }
+      *out += RenderedNode(v.AsNode());
       return;
     }
     case ValueKind::kString:
@@ -960,8 +1006,10 @@ Sequence Evaluator::EvalXiGroup(const AlgebraOp& op, const Tuple& env) {
   Sequence input = EvalOp(*op.child(0), env);
   std::vector<Key> order;
   std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets;
+  std::vector<Key> keys;
   for (uint32_t i = 0; i < input.size(); ++i) {
-    for (Key& k : MakeKeys(input[i], op.attrs, store_)) {
+    MakeKeysInto(input[i], op.attrs, store_, &keys);
+    for (Key& k : keys) {
       auto [it, inserted] = buckets.try_emplace(k);
       if (inserted) order.push_back(k);
       it->second.push_back(i);

@@ -8,8 +8,8 @@
 #ifndef NALQ_NAL_EVAL_H_
 #define NALQ_NAL_EVAL_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "nal/algebra.h"
 #include "nal/physical.h"
@@ -37,7 +37,7 @@ class Evaluator {
   /// Evaluates `op` with no outer bindings. Clears the common-subexpression
   /// cache first (each top-level run re-reads the documents).
   Sequence Eval(const AlgebraOp& op) {
-    cse_cache_.clear();
+    ClearCse();
     return EvalOp(op, Tuple());
   }
 
@@ -56,6 +56,15 @@ class Evaluator {
   /// filter predicate).
   Value ApplyAgg(const AggSpec& agg, const Sequence& group, const Tuple& env);
 
+  /// Move form: f = id without a filter adopts the group sequence instead of
+  /// copying it (the hot path of Γ with grouping-based plans).
+  Value ApplyAgg(const AggSpec& agg, Sequence&& group, const Tuple& env) {
+    if (agg.kind == AggSpec::Kind::kId && !agg.has_filter()) {
+      return Value::FromTuples(std::move(group));
+    }
+    return ApplyAgg(agg, group, env);
+  }
+
   /// f(ε): the meaningful value f assigns to the empty group.
   Value AggEmptyValue(const AggSpec& agg);
 
@@ -72,6 +81,26 @@ class Evaluator {
 
   /// XQuery general comparison between two (possibly sequence) values.
   bool GeneralCompare(CmpOp op, const Value& lhs, const Value& rhs);
+
+  /// Runs one Ξ command program for tuple `t` (appends to the output
+  /// stream). Public so the streaming executor (cursor.h) shares the exact
+  /// result-construction path.
+  void RunXiProgram(const XiProgram& program, const Tuple& t,
+                    const Tuple& env);
+
+  // Common-subexpression cache access, shared with the streaming executor so
+  // both execution paths (and nested subscript evaluations) see one cache.
+  const Sequence* CseFind(int id) const {
+    auto it = cse_cache_.find(id);
+    return it == cse_cache_.end() ? nullptr : &it->second;
+  }
+  const Sequence& CseStore(int id, Sequence s) {
+    return cse_cache_[id] = std::move(s);
+  }
+  void ClearCse() {
+    cse_cache_.clear();
+    cse_cache_.reserve(16);
+  }
 
  private:
   Sequence EvalSelect(const AlgebraOp& op, const Tuple& env);
@@ -91,13 +120,18 @@ class Evaluator {
   Value EvalFnCall(const Expr& e, const Tuple& local, const Tuple& env);
   Value EvalPathExpr(const Expr& e, const Tuple& local, const Tuple& env);
   bool AtomicCompare(CmpOp op, const Value& lhs, const Value& rhs);
-  void RunXiProgram(const XiProgram& program, const Tuple& t,
-                    const Tuple& env);
+
+  /// Rendered form of a node on the Ξ stream (serialized subtree for
+  /// elements, entity-encoded string value otherwise), memoized because
+  /// grouping queries render the same subtree once per group it appears in.
+  const std::string& RenderedNode(xml::NodeRef ref) const;
 
   const xml::Store& store_;
   EvalStats stats_;
   std::string output_;
-  std::map<int, Sequence> cse_cache_;
+  std::unordered_map<int, Sequence> cse_cache_;
+  mutable std::unordered_map<xml::NodeRef, std::string, xml::NodeRefHash>
+      render_cache_;
 };
 
 /// Flattens a value to its item sequence (null → empty, atomic/node →

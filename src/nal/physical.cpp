@@ -33,45 +33,79 @@ void AtomizedItems(const Value& v, const xml::Store& store,
 
 }  // namespace
 
-std::vector<Key> MakeKeys(const Tuple& tuple, std::span<const Symbol> attrs,
-                          const xml::Store& store) {
-  std::vector<Key> keys;
+void MakeKeysInto(const Tuple& tuple, std::span<const Symbol> attrs,
+                  const xml::Store& store, std::vector<Key>* out) {
+  // Overwrite `out` in place so a probe loop reuses both the outer vector
+  // and the per-key value vectors instead of reallocating per probe.
+  size_t used = 0;
+  auto slot = [&]() -> Key& {
+    if (used == out->size()) out->emplace_back();
+    Key& k = (*out)[used++];
+    k.values.clear();
+    return k;
+  };
   if (attrs.size() == 1) {
-    std::vector<Value> items;
+    static thread_local std::vector<Value> items;
+    items.clear();
     AtomizedItems(tuple.Get(attrs[0]), store, &items);
-    keys.reserve(items.size());
     for (Value& v : items) {
-      Key k;
+      Key& k = slot();
       k.values.push_back(std::move(v));
       // Deduplicate: the same value occurring twice in one sequence must not
       // yield the tuple twice in a bucket.
       bool seen = false;
-      for (const Key& existing : keys) {
-        if (existing == k) {
+      for (size_t i = 0; i + 1 < used; ++i) {
+        if ((*out)[i] == k) {
           seen = true;
           break;
         }
       }
-      if (!seen) keys.push_back(std::move(k));
+      if (seen) --used;  // drop the duplicate; its slot is reused next
     }
-    return keys;
+    out->resize(used);
+    return;
   }
-  Key k;
+  Key& k = slot();
   k.values.reserve(attrs.size());
   for (Symbol a : attrs) {
     k.values.push_back(tuple.Get(a).Atomize(store));
   }
-  keys.push_back(std::move(k));
+  out->resize(used);
+}
+
+std::vector<Key> MakeKeys(const Tuple& tuple, std::span<const Symbol> attrs,
+                          const xml::Store& store) {
+  std::vector<Key> keys;
+  MakeKeysInto(tuple, attrs, store, &keys);
   return keys;
 }
 
 void HashIndex::Build(const Sequence& input, std::span<const Symbol> attrs,
                       const xml::Store& store) {
   map_.clear();
+  map_.reserve(input.size());
+  std::vector<Key> keys;
   for (uint32_t i = 0; i < input.size(); ++i) {
-    for (Key& k : MakeKeys(input[i], attrs, store)) {
+    MakeKeysInto(input[i], attrs, store, &keys);
+    for (Key& k : keys) {
       map_[std::move(k)].push_back(i);
     }
+  }
+}
+
+void HashIndex::LookupInto(const Tuple& probe, std::span<const Symbol> attrs,
+                           const xml::Store& store, std::vector<Key>* scratch,
+                           std::vector<uint32_t>* out) const {
+  out->clear();
+  MakeKeysInto(probe, attrs, store, scratch);
+  for (const Key& k : *scratch) {
+    auto it = map_.find(k);
+    if (it == map_.end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  if (scratch->size() > 1) {
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
   }
 }
 
@@ -79,16 +113,8 @@ std::vector<uint32_t> HashIndex::Lookup(const Tuple& probe,
                                         std::span<const Symbol> attrs,
                                         const xml::Store& store) const {
   std::vector<uint32_t> out;
-  std::vector<Key> keys = MakeKeys(probe, attrs, store);
-  for (const Key& k : keys) {
-    auto it = map_.find(k);
-    if (it == map_.end()) continue;
-    out.insert(out.end(), it->second.begin(), it->second.end());
-  }
-  if (keys.size() > 1) {
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-  }
+  std::vector<Key> keys;
+  LookupInto(probe, attrs, store, &keys, &out);
   return out;
 }
 

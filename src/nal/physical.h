@@ -52,6 +52,12 @@ struct KeyHash {
 std::vector<Key> MakeKeys(const Tuple& tuple, std::span<const Symbol> attrs,
                           const xml::Store& store);
 
+/// Allocation-reusing form: clears `*out` and fills it. A caller probing in
+/// a loop keeps one scratch vector (and the Key vectors inside it) alive
+/// across probes.
+void MakeKeysInto(const Tuple& tuple, std::span<const Symbol> attrs,
+                  const xml::Store& store, std::vector<Key>* out);
+
 /// Hash index from key to input positions (positions kept in input order, so
 /// probing preserves the right operand's order inside each bucket).
 class HashIndex {
@@ -64,6 +70,12 @@ class HashIndex {
   std::vector<uint32_t> Lookup(const Tuple& probe,
                                std::span<const Symbol> attrs,
                                const xml::Store& store) const;
+
+  /// Allocation-reusing probe: `*scratch` and `*out` are cleared and reused
+  /// across calls. `*out` holds the same positions Lookup would return.
+  void LookupInto(const Tuple& probe, std::span<const Symbol> attrs,
+                  const xml::Store& store, std::vector<Key>* scratch,
+                  std::vector<uint32_t>* out) const;
 
   const std::vector<uint32_t>* LookupKey(const Key& k) const;
 

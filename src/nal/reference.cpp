@@ -10,8 +10,12 @@ namespace nalq::nal::reference {
 
 namespace {
 
+// The head-tail recursions below take SeqView, not Sequence: the paper's
+// τ(e) is then a pointer step instead of a suffix copy, keeping the textual
+// definitions but in linear instead of quadratic space.
+
 /// σ_p(e) := α(e) ⊕ σ_p(τ(e)) if p(α(e)), else σ_p(τ(e)).
-Sequence SelectRec(Evaluator& ev, const Expr& pred, const Sequence& e,
+Sequence SelectRec(Evaluator& ev, const Expr& pred, SeqView e,
                    const Tuple& env) {
   if (e.empty()) return Sequence();
   Sequence out;
@@ -22,7 +26,7 @@ Sequence SelectRec(Evaluator& ev, const Expr& pred, const Sequence& e,
 
 /// e1 ×̂ e2 := ε if e2 = ε, else (e1 ∘ α(e2)) ⊕ (e1 ×̂ τ(e2))
 /// (e1 is a single tuple here, per the paper's definition).
-Sequence CrossHat(const Tuple& t, const Sequence& e2) {
+Sequence CrossHat(const Tuple& t, SeqView e2) {
   if (e2.empty()) return Sequence();
   Sequence out;
   out.Append(t.Concat(e2.First()));
@@ -31,7 +35,7 @@ Sequence CrossHat(const Tuple& t, const Sequence& e2) {
 }
 
 /// e1 × e2 := (α(e1) ×̂ e2) ⊕ (τ(e1) × e2).
-Sequence CrossRec(const Sequence& e1, const Sequence& e2) {
+Sequence CrossRec(SeqView e1, SeqView e2) {
   if (e1.empty()) return Sequence();
   Sequence out = CrossHat(e1.First(), e2);
   out.Extend(CrossRec(e1.Tail(), e2));
@@ -39,7 +43,7 @@ Sequence CrossRec(const Sequence& e1, const Sequence& e2) {
 }
 
 bool ExistsMatch(Evaluator& ev, const Expr& pred, const Tuple& t,
-                 const Sequence& e2, const Tuple& env) {
+                 SeqView e2, const Tuple& env) {
   for (const Tuple& x : e2) {
     if (ev.EvalPred(pred, t.Concat(x), env)) return true;
   }
@@ -47,8 +51,8 @@ bool ExistsMatch(Evaluator& ev, const Expr& pred, const Tuple& t,
 }
 
 /// Semijoin / antijoin by their head-tail definitions.
-Sequence SemiRec(Evaluator& ev, const Expr& pred, const Sequence& e1,
-                 const Sequence& e2, const Tuple& env, bool anti) {
+Sequence SemiRec(Evaluator& ev, const Expr& pred, SeqView e1, SeqView e2,
+                 const Tuple& env, bool anti) {
   if (e1.empty()) return Sequence();
   Sequence out;
   bool matched = ExistsMatch(ev, pred, e1.First(), e2, env);
@@ -86,9 +90,8 @@ Sequence DistinctProject(Evaluator& ev, const Sequence& e,
 }
 
 /// Binary Γ by its definition: per e1 tuple, G(x) = f(σ_{x|A1 θ A2}(e2)).
-Sequence GroupBinaryRec(Evaluator& ev, const AlgebraOp& op,
-                        const Sequence& e1, const Sequence& e2,
-                        const Tuple& env) {
+Sequence GroupBinaryRec(Evaluator& ev, const AlgebraOp& op, SeqView e1,
+                        SeqView e2, const Tuple& env) {
   if (e1.empty()) return Sequence();
   const Tuple& t = e1.First();
   Sequence group;
@@ -115,7 +118,7 @@ Sequence GroupBinaryRec(Evaluator& ev, const AlgebraOp& op,
 }
 
 /// μ_g by its definition, ⊥ convention included.
-Sequence UnnestRec(Evaluator& ev, const AlgebraOp& op, const Sequence& e,
+Sequence UnnestRec(Evaluator& ev, const AlgebraOp& op, SeqView e,
                    const std::vector<Symbol>& bot_attrs) {
   if (e.empty()) return Sequence();
   const Tuple& t = e.First();
@@ -135,7 +138,7 @@ Sequence UnnestRec(Evaluator& ev, const AlgebraOp& op, const Sequence& e,
   if (nested.empty()) {
     if (op.outer) out.Append(base.Concat(Tuple::Nulls(bot_attrs)));
   } else {
-    out.Extend(CrossHat(base, nested));
+    out.Extend(CrossHat(base, SeqView(nested)));
   }
   out.Extend(UnnestRec(ev, op, e.Tail(), bot_attrs));
   return out;
@@ -150,8 +153,10 @@ Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
       out.Append(Tuple());
       return out;
     }
-    case OpKind::kSelect:
-      return SelectRec(ev, *op.pred, Eval(ev, *op.child(0), env), env);
+    case OpKind::kSelect: {
+      Sequence in = Eval(ev, *op.child(0), env);
+      return SelectRec(ev, *op.pred, SeqView(in), env);
+    }
     case OpKind::kProject: {
       Sequence in = Eval(ev, *op.child(0), env);
       Sequence renamed;
@@ -206,7 +211,7 @@ Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
       mu.kind = OpKind::kUnnest;
       mu.attr = g;
       mu.outer = op.outer;
-      return UnnestRec(ev, mu, mapped, {op.attr});
+      return UnnestRec(ev, mu, SeqView(mapped), {op.attr});
     }
     case OpKind::kUnnest: {
       std::vector<Symbol> bot_attrs;
@@ -215,23 +220,33 @@ Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
       if (it != info.nested.end()) {
         bot_attrs.assign(it->second.begin(), it->second.end());
       }
-      return UnnestRec(ev, op, Eval(ev, *op.child(0), env), bot_attrs);
+      Sequence in = Eval(ev, *op.child(0), env);
+      return UnnestRec(ev, op, SeqView(in), bot_attrs);
     }
-    case OpKind::kCross:
-      return CrossRec(Eval(ev, *op.child(0), env),
-                      Eval(ev, *op.child(1), env));
-    case OpKind::kJoin:
+    case OpKind::kCross: {
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      return CrossRec(SeqView(e1), SeqView(e2));
+    }
+    case OpKind::kJoin: {
       // e1 ⋈_p e2 := σ_p(e1 × e2).
-      return SelectRec(ev, *op.pred,
-                       CrossRec(Eval(ev, *op.child(0), env),
-                                Eval(ev, *op.child(1), env)),
-                       env);
-    case OpKind::kSemiJoin:
-      return SemiRec(ev, *op.pred, Eval(ev, *op.child(0), env),
-                     Eval(ev, *op.child(1), env), env, /*anti=*/false);
-    case OpKind::kAntiJoin:
-      return SemiRec(ev, *op.pred, Eval(ev, *op.child(0), env),
-                     Eval(ev, *op.child(1), env), env, /*anti=*/true);
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      Sequence crossed = CrossRec(SeqView(e1), SeqView(e2));
+      return SelectRec(ev, *op.pred, SeqView(crossed), env);
+    }
+    case OpKind::kSemiJoin: {
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      return SemiRec(ev, *op.pred, SeqView(e1), SeqView(e2), env,
+                     /*anti=*/false);
+    }
+    case OpKind::kAntiJoin: {
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      return SemiRec(ev, *op.pred, SeqView(e1), SeqView(e2), env,
+                     /*anti=*/true);
+    }
     case OpKind::kOuterJoin: {
       Sequence e1 = Eval(ev, *op.child(0), env);
       Sequence e2 = Eval(ev, *op.child(1), env);
@@ -286,7 +301,8 @@ Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
       binary.left_attrs = primed;
       binary.right_attrs = op.left_attrs;
       binary.agg = op.agg.CloneSpec();
-      Sequence grouped = GroupBinaryRec(ev, binary, left, e, env);
+      Sequence grouped = GroupBinaryRec(ev, binary, SeqView(left), SeqView(e),
+                                        env);
       // Π_{A:A'}: rename back.
       Sequence out;
       for (const Tuple& t : grouped) {
@@ -299,9 +315,11 @@ Sequence Eval(Evaluator& ev, const AlgebraOp& op, const Tuple& env) {
       }
       return out;
     }
-    case OpKind::kGroupBinary:
-      return GroupBinaryRec(ev, op, Eval(ev, *op.child(0), env),
-                            Eval(ev, *op.child(1), env), env);
+    case OpKind::kGroupBinary: {
+      Sequence e1 = Eval(ev, *op.child(0), env);
+      Sequence e2 = Eval(ev, *op.child(1), env);
+      return GroupBinaryRec(ev, op, SeqView(e1), SeqView(e2), env);
+    }
     case OpKind::kSort:
     case OpKind::kXiSimple:
     case OpKind::kXiGroup:

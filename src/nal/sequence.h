@@ -28,7 +28,9 @@ class Sequence {
 
   /// The paper's α(e): first element. Precondition: !empty().
   const Tuple& First() const { return tuples_.front(); }
-  /// The paper's τ(e): everything but the first element (copies).
+  /// The paper's τ(e): everything but the first element (copies). Prefer
+  /// SeqView::Tail() in recursive definitions — it is a pointer step, not a
+  /// copy, turning the textual α/τ recursions from O(n²) space to O(n).
   Sequence Tail() const {
     return Sequence(std::vector<Tuple>(tuples_.begin() + 1, tuples_.end()));
   }
@@ -45,6 +47,35 @@ class Sequence {
 
  private:
   std::vector<Tuple> tuples_;
+};
+
+/// Non-owning view of a Sequence suffix, carrying the same α/τ vocabulary.
+/// τ on a view is pointer arithmetic, so the head-tail recursions of the
+/// paper's definitions (reference.cpp) keep their textual shape but run in
+/// linear instead of quadratic space. The viewed Sequence must outlive the
+/// view.
+class SeqView {
+ public:
+  SeqView() = default;
+  explicit SeqView(const Sequence& s)
+      : data_(s.tuples().data()), size_(s.size()) {}
+  SeqView(const Tuple* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const Tuple& operator[](size_t i) const { return data_[i]; }
+
+  const Tuple* begin() const { return data_; }
+  const Tuple* end() const { return data_ + size_; }
+
+  /// The paper's α(e). Precondition: !empty().
+  const Tuple& First() const { return data_[0]; }
+  /// The paper's τ(e) — O(1), no copy.
+  SeqView Tail() const { return SeqView(data_ + 1, size_ - 1); }
+
+ private:
+  const Tuple* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 /// Order-sensitive structural equality (the property every equivalence in

@@ -20,11 +20,16 @@ bool Tuple::Has(Symbol a) const {
 }
 
 const Value& Tuple::Get(Symbol a) const {
+  const Value* v = Find(a);
+  return v != nullptr ? *v : kNull;
+}
+
+const Value* Tuple::Find(Symbol a) const {
   auto it = std::lower_bound(
       slots_.begin(), slots_.end(), a,
       [](const auto& slot, Symbol s) { return slot.first < s; });
-  if (it != slots_.end() && it->first == a) return it->second;
-  return kNull;
+  if (it != slots_.end() && it->first == a) return &it->second;
+  return nullptr;
 }
 
 void Tuple::Set(Symbol a, Value v) {
@@ -38,10 +43,34 @@ void Tuple::Set(Symbol a, Value v) {
   }
 }
 
-Tuple Tuple::Concat(const Tuple& other) const {
-  Tuple out = *this;
-  for (const auto& [a, v] : other.slots_) out.Set(a, v);
+Tuple Tuple::Concat(const Tuple& other) const& {
+  Tuple out;
+  out.slots_.reserve(slots_.size() + other.slots_.size());
+  auto a = slots_.begin();
+  auto b = other.slots_.begin();
+  while (a != slots_.end() && b != other.slots_.end()) {
+    if (a->first < b->first) {
+      out.slots_.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.slots_.push_back(*b++);
+    } else {
+      // Collision: `other` wins (documented behaviour used by renaming).
+      out.slots_.push_back(*b++);
+      ++a;
+    }
+  }
+  out.slots_.insert(out.slots_.end(), a, slots_.end());
+  out.slots_.insert(out.slots_.end(), b, other.slots_.end());
   return out;
+}
+
+Tuple Tuple::Concat(const Tuple& other) && {
+  if (other.slots_.empty()) return std::move(*this);
+  if (slots_.empty() || slots_.back().first < other.slots_.front().first) {
+    slots_.insert(slots_.end(), other.slots_.begin(), other.slots_.end());
+    return std::move(*this);
+  }
+  return static_cast<const Tuple&>(*this).Concat(other);
 }
 
 Tuple Tuple::Project(std::span<const Symbol> attrs) const {
@@ -52,23 +81,46 @@ Tuple Tuple::Project(std::span<const Symbol> attrs) const {
   return out;
 }
 
-Tuple Tuple::Drop(std::span<const Symbol> attrs) const {
+Tuple Tuple::Drop(std::span<const Symbol> attrs) const& {
   Tuple out;
-  for (const auto& [a, v] : slots_) {
-    if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
-      out.Set(a, v);
+  out.slots_.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (std::find(attrs.begin(), attrs.end(), slot.first) == attrs.end()) {
+      out.slots_.push_back(slot);
     }
   }
   return out;
 }
 
-Tuple Tuple::Rename(Symbol from, Symbol to) const {
+Tuple Tuple::Drop(std::span<const Symbol> attrs) && {
+  std::erase_if(slots_, [&](const auto& slot) {
+    return std::find(attrs.begin(), attrs.end(), slot.first) != attrs.end();
+  });
+  return std::move(*this);
+}
+
+Tuple Tuple::Rename(Symbol from, Symbol to) const& {
   if (from == to || !Has(from)) return *this;
   Tuple out;
   for (const auto& [a, v] : slots_) {
     out.Set(a == from ? to : a, v);
   }
   return out;
+}
+
+Tuple Tuple::Rename(Symbol from, Symbol to) && {
+  if (from == to || !Has(from)) return std::move(*this);
+  if (Has(to)) return static_cast<const Tuple&>(*this).Rename(from, to);
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), from,
+      [](const auto& slot, Symbol s) { return slot.first < s; });
+  std::pair<Symbol, Value> moved = {to, std::move(it->second)};
+  slots_.erase(it);
+  auto pos = std::lower_bound(
+      slots_.begin(), slots_.end(), to,
+      [](const auto& slot, Symbol s) { return slot.first < s; });
+  slots_.insert(pos, std::move(moved));
+  return std::move(*this);
 }
 
 Tuple Tuple::Nulls(std::span<const Symbol> attrs) {

@@ -29,23 +29,35 @@ class Tuple {
   bool Has(Symbol a) const;
   /// Value of `a`; NULL if unbound.
   const Value& Get(Symbol a) const;
+  /// Value of `a`, or nullptr if unbound (single lookup for the Has+Get
+  /// pattern).
+  const Value* Find(Symbol a) const;
   /// Binds `a` (replacing any existing binding).
   void Set(Symbol a, Value v);
 
   /// The paper's ◦ (tuple concatenation). Attributes of `other` must be
   /// disjoint from ours; in case of a collision `other` wins (documented
-  /// behaviour used by renaming).
-  Tuple Concat(const Tuple& other) const;
+  /// behaviour used by renaming). A single sorted merge, O(|this|+|other|).
+  Tuple Concat(const Tuple& other) const&;
+  /// Move form: reuses this tuple's storage when `other` appends cleanly
+  /// (all of its symbol ids are larger); otherwise falls back to the
+  /// merge-copy of the const& overload.
+  Tuple Concat(const Tuple& other) &&;
 
   /// Projection onto `attrs` (the paper's |A). Missing attributes are
   /// skipped.
   Tuple Project(std::span<const Symbol> attrs) const;
 
   /// Drops `attrs` (the paper's Π with an overline).
-  Tuple Drop(std::span<const Symbol> attrs) const;
+  Tuple Drop(std::span<const Symbol> attrs) const&;
+  /// Move form: erases in place, no allocation.
+  Tuple Drop(std::span<const Symbol> attrs) &&;
 
   /// Renames attribute `from` to `to` (other attributes untouched).
-  Tuple Rename(Symbol from, Symbol to) const;
+  Tuple Rename(Symbol from, Symbol to) const&;
+  /// Move form: re-slots the renamed binding in place, no allocation (unless
+  /// `to` is already bound, which falls back to the copying path).
+  Tuple Rename(Symbol from, Symbol to) &&;
 
   /// The paper's ⊥_A: a tuple with every attribute of `attrs` bound to NULL.
   static Tuple Nulls(std::span<const Symbol> attrs);

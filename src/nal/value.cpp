@@ -34,7 +34,9 @@ size_t Value::SequenceLength() const {
 Value Value::Atomize(const xml::Store& store) const {
   if (kind() == ValueKind::kNode) {
     const xml::Document& doc = store.doc_of(AsNode());
-    return Value(doc.StringValue(AsNode().id));
+    // Repeated atomizations of one node share the document's memoized
+    // string — the hot path of key building and general comparisons.
+    return Value(doc.SharedStringValue(AsNode().id));
   }
   if (kind() == ValueKind::kItemSeq) {
     // Atomize item-wise; a singleton sequence atomizes to its single item
@@ -72,7 +74,7 @@ std::string Value::ToString(const xml::Store& store) const {
       return AsString();
     case ValueKind::kNode: {
       const xml::Document& doc = store.doc_of(AsNode());
-      return doc.StringValue(AsNode().id);
+      return *doc.SharedStringValue(AsNode().id);
     }
     case ValueKind::kItemSeq: {
       std::string out;
@@ -115,7 +117,8 @@ std::optional<double> Value::ToNumber(const xml::Store& store) const {
     case ValueKind::kString:
       return TryParseNumber(AsString());
     case ValueKind::kNode:
-      return TryParseNumber(ToString(store));
+      return TryParseNumber(
+          *store.doc_of(AsNode()).SharedStringValue(AsNode().id));
     case ValueKind::kItemSeq: {
       const ItemSeq& items = AsItems();
       if (items.size() == 1) return items[0].ToNumber(store);
@@ -145,8 +148,13 @@ bool Value::Equals(const Value& other) const {
       return AsInt() == other.AsInt();
     case ValueKind::kDouble:
       return AsDouble() == other.AsDouble();
-    case ValueKind::kString:
-      return AsString() == other.AsString();
+    case ValueKind::kString: {
+      // Atomized node values share one allocation per node (the document's
+      // memoized string value), so identity settles most probe comparisons.
+      const std::string* a = &AsString();
+      const std::string* b = &other.AsString();
+      return a == b || *a == *b;
+    }
     case ValueKind::kNode:
       return AsNode() == other.AsNode();
     case ValueKind::kItemSeq: {

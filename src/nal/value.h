@@ -57,6 +57,9 @@ class Value {
   explicit Value(const char* s)
       : rep_(std::make_shared<const std::string>(s)) {}
   explicit Value(xml::NodeRef n) : rep_(n) {}
+  /// Shares an existing string allocation (e.g. a document's memoized node
+  /// string value) instead of copying it.
+  explicit Value(std::shared_ptr<const std::string> s) : rep_(std::move(s)) {}
   explicit Value(std::shared_ptr<const ItemSeq> items)
       : rep_(std::move(items)) {}
   explicit Value(std::shared_ptr<const Sequence> tuples)

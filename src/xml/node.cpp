@@ -66,35 +66,44 @@ std::string Document::StringValue(NodeId id) const {
     return std::string(texts_[n.text]);
   }
   // Element/document: concatenate text of all descendants, in order.
+  // Allocation-free pre-order walk via the child/sibling chains (ids are in
+  // document order but the chain walk is robust even if they were not).
   std::string out;
-  // Iterative pre-order bounded by the subtree. Because ids are allocated in
-  // document order and subtrees are contiguous in a depth-first build, we can
-  // walk the child chains explicitly (robust even if ids were not contiguous).
-  std::vector<NodeId> stack;
-  for (NodeId c = n.first_child; c != kNoNode; c = nodes_[c].next_sibling) {
-    stack.push_back(c);
-  }
-  // Children were pushed in order; process with an explicit reversal to keep
-  // document order on a LIFO stack.
-  std::vector<NodeId> rev(stack.rbegin(), stack.rend());
-  stack = std::move(rev);
-  while (!stack.empty()) {
-    NodeId cur = stack.back();
-    stack.pop_back();
+  NodeId cur = n.first_child;
+  while (cur != kNoNode) {
     const Node& c = nodes_[cur];
     if (c.kind == NodeKind::kText) {
       out += texts_[c.text];
-    } else if (c.kind == NodeKind::kElement) {
-      std::vector<NodeId> kids;
-      for (NodeId k = c.first_child; k != kNoNode; k = nodes_[k].next_sibling) {
-        kids.push_back(k);
+    }
+    NodeId child =
+        c.kind == NodeKind::kElement ? c.first_child : kNoNode;
+    if (child != kNoNode) {
+      cur = child;
+      continue;
+    }
+    while (cur != kNoNode) {
+      NodeId sibling = nodes_[cur].next_sibling;
+      if (sibling != kNoNode) {
+        cur = sibling;
+        break;
       }
-      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-        stack.push_back(*it);
-      }
+      NodeId parent = nodes_[cur].parent;
+      cur = parent == id ? kNoNode : parent;
     }
   }
   return out;
+}
+
+const std::shared_ptr<const std::string>& Document::SharedStringValue(
+    NodeId id) const {
+  if (string_value_cache_.size() <= id) {
+    string_value_cache_.resize(nodes_.size());
+  }
+  std::shared_ptr<const std::string>& slot = string_value_cache_[id];
+  if (slot == nullptr) {
+    slot = std::make_shared<const std::string>(StringValue(id));
+  }
+  return slot;
 }
 
 size_t Document::CountElements(std::string_view tag) const {

@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,6 +76,12 @@ class Document {
   /// the text itself (text/attribute nodes), or the whole document's text.
   std::string StringValue(NodeId id) const;
 
+  /// Memoized shared form of StringValue: the first call per node computes
+  /// and caches the string, later calls (and every Value atomized from the
+  /// node) share the one allocation. Evaluation is single-threaded; the
+  /// cache is per-document and lives until the document is dropped.
+  const std::shared_ptr<const std::string>& SharedStringValue(NodeId id) const;
+
   /// Number of element nodes named `tag` in the whole document.
   size_t CountElements(std::string_view tag) const;
 
@@ -97,6 +104,9 @@ class Document {
   std::vector<std::string> texts_;
   StringInterner names_;
   std::string dtd_text_;
+  // Lazily grown to node_count(); flat so the hot hit path is one array
+  // load, no hashing.
+  mutable std::vector<std::shared_ptr<const std::string>> string_value_cache_;
 };
 
 using DocId = uint32_t;

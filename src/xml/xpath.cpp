@@ -95,10 +95,11 @@ std::string Path::ToString() const {
 namespace {
 
 /// Appends all matching nodes for one step from `from`, in document order.
+/// `name_id` is the step name resolved against `doc`'s interner (resolved
+/// once per step by the caller, not per context node).
 void ApplyStep(const Document& doc, DocId doc_id, const Step& step,
-               NodeId from, std::vector<NodeRef>* out, XPathStats* stats) {
-  uint32_t name_id =
-      step.wildcard() ? UINT32_MAX : doc.names().Find(step.name);
+               uint32_t name_id, NodeId from, std::vector<NodeRef>* out,
+               XPathStats* stats) {
   auto matches = [&](NodeId id) {
     if (stats != nullptr) ++stats->nodes_visited;
     const Node& n = doc.node(id);
@@ -139,24 +140,27 @@ void ApplyStep(const Document& doc, DocId doc_id, const Step& step,
     }
     case Axis::kDescendant: {
       if (name_id == UINT32_MAX && !step.wildcard()) return;
-      // Depth-first walk of the subtree; emission order = document order.
-      std::vector<NodeId> stack;
-      auto push_children = [&](NodeId parent) {
-        std::vector<NodeId> kids;
-        for (NodeId c = doc.first_child(parent); c != kNoNode;
-             c = doc.next_sibling(c)) {
-          kids.push_back(c);
-        }
-        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-          stack.push_back(*it);
-        }
-      };
-      push_children(from);
-      while (!stack.empty()) {
-        NodeId cur = stack.back();
-        stack.pop_back();
+      // Allocation-free pre-order walk of the subtree via the child/sibling
+      // chains; emission order = document order.
+      NodeId cur = doc.first_child(from);
+      while (cur != kNoNode) {
         if (matches(cur)) out->push_back(NodeRef{doc_id, cur});
-        if (doc.kind(cur) == NodeKind::kElement) push_children(cur);
+        NodeId child = doc.kind(cur) == NodeKind::kElement
+                           ? doc.first_child(cur)
+                           : kNoNode;
+        if (child != kNoNode) {
+          cur = child;
+          continue;
+        }
+        while (cur != kNoNode) {
+          NodeId sibling = doc.next_sibling(cur);
+          if (sibling != kNoNode) {
+            cur = sibling;
+            break;
+          }
+          NodeId parent = doc.parent(cur);
+          cur = parent == from ? kNoNode : parent;
+        }
       }
       return;
     }
@@ -165,20 +169,33 @@ void ApplyStep(const Document& doc, DocId doc_id, const Step& step,
 
 }  // namespace
 
-std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
-                              NodeRef context, XPathStats* stats) {
-  std::vector<NodeRef> current;
+void EvalPathInto(const Store& store, const Path& path, NodeRef context,
+                  XPathStats* stats, std::vector<NodeRef>* out) {
+  // Scratch reused across the (very frequent) per-tuple path evaluations.
+  // EvalPathInto never re-enters itself, so the thread-local scratch cannot
+  // be aliased.
+  static thread_local std::vector<NodeRef> current;
+  static thread_local std::vector<NodeRef> next;
+  current.clear();
   if (path.absolute()) {
     current.push_back(NodeRef{context.doc, store.document(context.doc).root()});
   } else {
     current.push_back(context);
   }
-  std::vector<NodeRef> next;
   for (const Step& step : path.steps()) {
     if (stats != nullptr) ++stats->steps_evaluated;
     next.clear();
+    // Resolve the step name against each document's interner once, not per
+    // context node.
+    DocId last_doc = UINT32_MAX;
+    uint32_t name_id = UINT32_MAX;
     for (const NodeRef& ref : current) {
-      ApplyStep(store.document(ref.doc), ref.doc, step, ref.id, &next, stats);
+      const Document& doc = store.document(ref.doc);
+      if (ref.doc != last_doc) {
+        last_doc = ref.doc;
+        name_id = step.wildcard() ? UINT32_MAX : doc.names().Find(step.name);
+      }
+      ApplyStep(doc, ref.doc, step, name_id, ref.id, &next, stats);
     }
     // Starting from a single context node, child/attribute steps keep
     // document order and produce no duplicates. A descendant step applied to
@@ -190,7 +207,14 @@ std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
     }
     current.swap(next);
   }
-  return current;
+  out->assign(current.begin(), current.end());
+}
+
+std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
+                              NodeRef context, XPathStats* stats) {
+  std::vector<NodeRef> out;
+  EvalPathInto(store, path, context, stats, &out);
+  return out;
 }
 
 std::vector<NodeRef> EvalPath(const Store& store, const Path& path,

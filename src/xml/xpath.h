@@ -69,6 +69,12 @@ struct XPathStats {
 std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
                               NodeRef context, XPathStats* stats = nullptr);
 
+/// Allocation-reusing form of the single-context EvalPath: fills `*out`
+/// (cleared first) instead of returning a fresh vector — for per-tuple path
+/// evaluation loops.
+void EvalPathInto(const Store& store, const Path& path, NodeRef context,
+                  XPathStats* stats, std::vector<NodeRef>* out);
+
 /// Evaluates `path` from a sequence of context nodes (result merged into
 /// document order, duplicates removed).
 std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
