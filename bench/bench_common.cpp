@@ -11,11 +11,11 @@ namespace {
 
 double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                     int repeats, engine::ExecMode mode,
-                    nal::EvalStats* stats) {
+                    engine::PathMode path_mode, nal::EvalStats* stats) {
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     auto start = std::chrono::steady_clock::now();
-    engine::RunResult result = engine.Run(plan, mode);
+    engine::RunResult result = engine.Run(plan, mode, path_mode);
     auto end = std::chrono::steady_clock::now();
     if (stats != nullptr) *stats = result.stats;
     double s = std::chrono::duration<double>(end - start).count();
@@ -29,8 +29,9 @@ double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
 }  // namespace
 
 double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
-                int repeats, engine::ExecMode mode) {
-  return TimePlanImpl(engine, plan, repeats, mode, nullptr);
+                int repeats, engine::ExecMode mode,
+                engine::PathMode path_mode) {
+  return TimePlanImpl(engine, plan, repeats, mode, path_mode, nullptr);
 }
 
 namespace {
@@ -72,13 +73,18 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"parameter\":\"" << JsonEscape(r.parameter) << "\""
       << ",\"size\":\"" << JsonEscape(r.size) << "\""
       << ",\"mode\":\"" << JsonEscape(r.mode) << "\""
+      << ",\"path\":\"" << JsonEscape(r.path) << "\""
       << ",\"seconds\":" << seconds
       << ",\"nested_alg_evals\":" << r.stats.nested_alg_evals
       << ",\"doc_scans\":" << r.stats.doc_scans
       << ",\"tuples_produced\":" << r.stats.tuples_produced
       << ",\"predicate_evals\":" << r.stats.predicate_evals
       << ",\"xpath_steps\":" << r.stats.xpath.steps_evaluated
-      << ",\"xpath_nodes\":" << r.stats.xpath.nodes_visited << "}";
+      << ",\"xpath_nodes\":" << r.stats.xpath.nodes_visited
+      << ",\"index_lookups\":" << r.stats.xpath.index_lookups
+      << ",\"index_hits\":" << r.stats.xpath.index_hits
+      << ",\"index_nodes_skipped\":" << r.stats.xpath.index_nodes_skipped
+      << "}";
   return out.str();
 }
 
@@ -145,17 +151,26 @@ double TimePlanRecorded(const engine::Engine& engine,
   base.parameter = parameter;
   base.size = size;
 
-  double streaming_seconds = 0;
-  for (engine::ExecMode mode :
-       {engine::ExecMode::kStreaming, engine::ExecMode::kMaterializing}) {
-    BenchRecord r = base;
-    r.mode = mode == engine::ExecMode::kStreaming ? "streaming"
-                                                  : "materializing";
-    r.seconds = TimePlanImpl(engine, plan, repeats, mode, &r.stats);
-    if (mode == engine::ExecMode::kStreaming) streaming_seconds = r.seconds;
-    RecordBench(std::move(r));
+  double default_seconds = 0;
+  for (engine::PathMode path_mode :
+       {engine::PathMode::kIndexed, engine::PathMode::kScan}) {
+    for (engine::ExecMode mode :
+         {engine::ExecMode::kStreaming, engine::ExecMode::kMaterializing}) {
+      BenchRecord r = base;
+      r.mode = mode == engine::ExecMode::kStreaming ? "streaming"
+                                                    : "materializing";
+      r.path =
+          path_mode == engine::PathMode::kIndexed ? "indexed" : "scan";
+      r.seconds =
+          TimePlanImpl(engine, plan, repeats, mode, path_mode, &r.stats);
+      if (mode == engine::ExecMode::kStreaming &&
+          path_mode == engine::PathMode::kIndexed) {
+        default_seconds = r.seconds;
+      }
+      RecordBench(std::move(r));
+    }
   }
-  return streaming_seconds;
+  return default_seconds;
 }
 
 std::string FormatSeconds(double s) {

@@ -24,16 +24,18 @@ namespace nalq::bench {
 /// runs; repeats shrink automatically for slow plans).
 double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                 int repeats = 3,
-                engine::ExecMode mode = engine::ExecMode::kStreaming);
+                engine::ExecMode mode = engine::ExecMode::kStreaming,
+                engine::PathMode path_mode = engine::PathMode::kIndexed);
 
 /// One machine-readable measurement: a plan's wall-clock seconds plus the
-/// EvalStats counters, under one executor.
+/// EvalStats counters, under one executor × path-mode combination.
 struct BenchRecord {
   std::string bench;      ///< experiment id, e.g. "E1"
   std::string plan;       ///< plan label, e.g. "grouping"
   std::string parameter;  ///< table parameter, e.g. authors/book; may be empty
   std::string size;       ///< problem size, e.g. books
   std::string mode;       ///< "streaming" | "materializing"
+  std::string path;       ///< "indexed" | "scan"
   double seconds = 0;
   nal::EvalStats stats;
 };
@@ -47,10 +49,10 @@ void RecordBench(BenchRecord record);
 /// kept unless this process re-measured the same experiment id.
 void WriteBenchResults(const char* path = "BENCH_results.json");
 
-/// Times `plan` under BOTH executors, records both measurements (with
-/// EvalStats from one run each) under experiment `bench`, and returns the
-/// streaming-mode seconds — a drop-in replacement for TimePlan in the table
-/// loops.
+/// Times `plan` under BOTH executors × BOTH path modes, records all four
+/// measurements (with EvalStats from one run each) under experiment `bench`,
+/// and returns the streaming+indexed seconds (the engine default) — a
+/// drop-in replacement for TimePlan in the table loops.
 double TimePlanRecorded(const engine::Engine& engine,
                         const nal::AlgebraPtr& plan, const std::string& bench,
                         const std::string& plan_label,

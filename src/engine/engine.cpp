@@ -39,8 +39,12 @@ CompiledQuery Engine::Compile(std::string_view query_text) const {
   return out;
 }
 
-RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode) const {
+RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
+                      PathMode path_mode) const {
   nal::Evaluator evaluator(store_);
+  evaluator.set_path_mode(path_mode == PathMode::kIndexed
+                              ? xml::PathEvalMode::kIndexed
+                              : xml::PathEvalMode::kScan);
   if (mode == ExecMode::kStreaming) {
     nal::DrainStreaming(evaluator, *plan);
   } else {
@@ -52,9 +56,10 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode) const {
   return result;
 }
 
-RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode) const {
+RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
+                           PathMode path_mode) const {
   CompiledQuery q = Compile(query_text);
-  return Run(q.best.plan, mode);
+  return Run(q.best.plan, mode, path_mode);
 }
 
 }  // namespace nalq::engine

@@ -44,6 +44,16 @@ enum class ExecMode {
   kMaterializing,  ///< operator-at-a-time Evaluator::Eval
 };
 
+/// Which XPath evaluation strategy the evaluators use, mirroring ExecMode.
+/// Both produce identical results on every path and plan (asserted by
+/// tests/xpath_index_test.cpp); indexed resolves path steps against the
+/// per-document structural index (xml/index.h) instead of walking subtrees,
+/// so only the XPathStats counters differ.
+enum class PathMode {
+  kIndexed,  ///< occurrence-list range scans (default)
+  kScan,     ///< chain-walk of the subtree per step
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -64,11 +74,13 @@ class Engine {
 
   /// Evaluates a plan, returning the constructed result and statistics.
   RunResult Run(const nal::AlgebraPtr& plan,
-                ExecMode mode = ExecMode::kStreaming) const;
+                ExecMode mode = ExecMode::kStreaming,
+                PathMode path_mode = PathMode::kIndexed) const;
 
   /// Convenience: compile with unnesting and run the best plan.
   RunResult RunQuery(std::string_view query_text,
-                     ExecMode mode = ExecMode::kStreaming) const;
+                     ExecMode mode = ExecMode::kStreaming,
+                     PathMode path_mode = PathMode::kIndexed) const;
 
  private:
   xml::Store store_;

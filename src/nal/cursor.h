@@ -22,6 +22,12 @@
 // Evaluator::Eval, and the EvalStats counters (nested_alg_evals, doc_scans,
 // tuples_produced, predicate_evals, xpath) count identically. The
 // differential suite in tests/streaming_exec_test.cpp asserts both.
+//
+// Path nodes: the cursors that evaluate path expressions (χ/Υ via
+// Evaluator::EvalExpr) inherit the evaluator's PathEvalMode, so one
+// set_path_mode() call governs indexed-vs-scan path resolution for a whole
+// streaming run exactly as it does for a materializing run — the executors
+// stay stat-identical under either mode.
 #ifndef NALQ_NAL_CURSOR_H_
 #define NALQ_NAL_CURSOR_H_
 

@@ -465,11 +465,12 @@ Value Evaluator::EvalPathExpr(const Expr& e, const Tuple& local,
   }
   static thread_local std::vector<xml::NodeRef> result;
   if (contexts.size() == 1) {
-    xml::EvalPathInto(store_, e.path, contexts[0], &stats_.xpath, &result);
+    xml::EvalPathInto(store_, e.path, contexts[0], &stats_.xpath, &result,
+                      path_mode_);
   } else {
     result = xml::EvalPath(store_, e.path,
                            std::span<const xml::NodeRef>(contexts),
-                           &stats_.xpath);
+                           &stats_.xpath, path_mode_);
   }
   ItemSeq out;
   out.reserve(result.size());

@@ -14,6 +14,7 @@
 #include "nal/algebra.h"
 #include "nal/physical.h"
 #include "xml/store.h"
+#include "xml/xpath.h"
 
 namespace nalq::nal {
 
@@ -79,6 +80,13 @@ class Evaluator {
   EvalStats& stats() { return stats_; }
   const xml::Store& store() const { return store_; }
 
+  /// How path expressions resolve their steps (xml/xpath.h). Shared by both
+  /// executors — the streaming cursors evaluate their path nodes through
+  /// this evaluator's EvalExpr, so one setting governs a whole run. Results
+  /// are mode-independent; only the XPathStats counters differ.
+  void set_path_mode(xml::PathEvalMode mode) { path_mode_ = mode; }
+  xml::PathEvalMode path_mode() const { return path_mode_; }
+
   /// XQuery general comparison between two (possibly sequence) values.
   bool GeneralCompare(CmpOp op, const Value& lhs, const Value& rhs);
 
@@ -128,6 +136,7 @@ class Evaluator {
 
   const xml::Store& store_;
   EvalStats stats_;
+  xml::PathEvalMode path_mode_ = xml::PathEvalMode::kIndexed;
   std::string output_;
   std::unordered_map<int, Sequence> cse_cache_;
   mutable std::unordered_map<xml::NodeRef, std::string, xml::NodeRefHash>

@@ -5,15 +5,32 @@ namespace nalq::xml {
 Document::Document(std::string name) : name_(std::move(name)) {
   Node doc;
   doc.kind = NodeKind::kDocument;
+  doc.subtree_end = 1;
   nodes_.push_back(doc);
 }
 
 NodeId Document::NewNode(NodeKind kind, NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  // Depth-first construction means every append targets the rightmost open
+  // node, whose extent currently ends exactly at the new id. Appending
+  // anywhere else would silently corrupt the structural numbering (an
+  // ancestor's extent would swallow its later siblings), so fail fast in
+  // Debug builds rather than let indexed path evaluation return wrong
+  // results.
+  assert(parent == kNoNode || nodes_[parent].subtree_end == id);
   Node n;
   n.kind = kind;
   n.parent = parent;
+  n.subtree_end = id + 1;
   nodes_.push_back(n);
-  return static_cast<NodeId>(nodes_.size() - 1);
+  // Extending every ancestor's extent over the new node keeps all subtree
+  // extents contiguous — the [pre, pre+size) structural numbering. O(depth)
+  // per append (the same depth the building recursion already carries);
+  // the paper's documents are a handful of levels deep.
+  for (NodeId a = parent; a != kNoNode; a = nodes_[a].parent) {
+    nodes_[a].subtree_end = id + 1;
+  }
+  return id;
 }
 
 void Document::AppendChild(NodeId parent, NodeId child) {

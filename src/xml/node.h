@@ -6,6 +6,14 @@
 // NodeId order coincides with document order — the property the paper's
 // order-preserving operators rely on ("the Υ operator generates its output in
 // document order").
+//
+// Depth-first construction also gives every node a structural numbering for
+// free: its NodeId is its preorder rank `pre`, and its whole subtree
+// (attributes included) occupies the contiguous id interval
+// [pre, subtree_end(pre)). The extents are maintained incrementally while
+// the tree is built, so ancestor tests and descendant-range lookups are O(1)
+// integer comparisons — the basis of the per-document structural index
+// (xml/index.h) and the index-backed XPath evaluation (xml/xpath.h).
 #ifndef NALQ_XML_NODE_H_
 #define NALQ_XML_NODE_H_
 
@@ -37,6 +45,11 @@ struct Node {
   NodeId last_child = kNoNode;
   NodeId next_sibling = kNoNode;
   NodeId first_attr = kNoNode;
+  /// Exclusive end of the subtree extent: the structural interval
+  /// [id, subtree_end) holds exactly this node's subtree — itself, its
+  /// attributes and all descendants. Valid at all times during depth-first
+  /// construction (see Document::NewNode).
+  NodeId subtree_end = kNoNode;
 };
 
 /// One XML document. Node 0 is the document node.
@@ -63,6 +76,20 @@ class Document {
   NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
   NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
   NodeId first_attr(NodeId id) const { return nodes_[id].first_attr; }
+
+  // ---- structural numbering ---------------------------------------------
+  /// Preorder rank of `id` (depth-first construction makes this the id
+  /// itself; exposed under its paper name for readability at call sites).
+  NodeId pre(NodeId id) const { return id; }
+  /// Exclusive end of `id`'s subtree extent [pre, pre+size).
+  NodeId subtree_end(NodeId id) const { return nodes_[id].subtree_end; }
+  /// Number of nodes in `id`'s subtree, itself and attributes included.
+  uint32_t subtree_size(NodeId id) const { return nodes_[id].subtree_end - id; }
+  /// True iff `descendant` lies strictly inside `ancestor`'s subtree
+  /// (attributes count as descendants of their element).
+  bool IsDescendant(NodeId ancestor, NodeId descendant) const {
+    return descendant > ancestor && descendant < nodes_[ancestor].subtree_end;
+  }
 
   /// Interned id of the element/attribute name (0 for text/document nodes).
   uint32_t name_id(NodeId id) const { return nodes_[id].name; }

@@ -19,8 +19,10 @@ bool IsNameChar(char c) {
          c == '-' || c == '.';
 }
 
-/// Recursive-descent XML parser. Builds the Document depth-first so node ids
-/// coincide with document order (see node.h).
+/// Recursive-descent XML parser. Builds the Document depth-first — elements
+/// before their attributes, attributes before child content — so node ids
+/// coincide with document order and every subtree gets its contiguous
+/// [pre, pre+size) structural extent at parse time (see node.h).
 class Parser {
  public:
   Parser(std::string_view input, const ParseOptions& options, Document* doc)

@@ -20,7 +20,22 @@ DocId AddDocumentImpl(std::vector<std::unique_ptr<Document>>* documents,
 }
 
 DocId Store::AddDocument(Document doc) {
-  return AddDocumentImpl(&documents_, &by_name_, std::move(doc));
+  DocId id = AddDocumentImpl(&documents_, &by_name_, std::move(doc));
+  // Invalidate the structural index: the slot either belongs to the replaced
+  // document or is fresh. Rebuilt lazily by index().
+  if (indexes_.size() <= id) indexes_.resize(id + 1);
+  indexes_[id].reset();
+  return id;
+}
+
+const DocumentIndex& Store::index(DocId id) const {
+  if (indexes_.size() <= id) indexes_.resize(id + 1);
+  const Document& doc = *documents_[id];
+  std::unique_ptr<DocumentIndex>& slot = indexes_[id];
+  if (slot == nullptr || slot->built_node_count() != doc.node_count()) {
+    slot = std::make_unique<DocumentIndex>(doc);
+  }
+  return *slot;
 }
 
 DocId Store::AddDocumentText(std::string name, std::string_view xml_text) {

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "xml/index.h"
 #include "xml/node.h"
 
 namespace nalq::xml {
@@ -40,9 +41,17 @@ class Store {
     return *documents_[ref.doc];
   }
 
+  /// The document's structural index (xml/index.h), built lazily on first
+  /// use. AddDocument invalidates the slot when it replaces a document, and
+  /// a stale index (document mutated after the build) is rebuilt here.
+  /// Evaluation is single-threaded (see Document::SharedStringValue), so the
+  /// mutable lazy build needs no synchronization.
+  const DocumentIndex& index(DocId id) const;
+
  private:
   std::vector<std::unique_ptr<Document>> documents_;
   std::unordered_map<std::string, DocId> by_name_;
+  mutable std::vector<std::unique_ptr<DocumentIndex>> indexes_;
 };
 
 }  // namespace nalq::xml

@@ -45,8 +45,11 @@ class Path {
   const std::vector<Step>& steps() const { return steps_; }
   bool empty() const { return steps_.empty(); }
 
-  /// Concatenation: `this` then `rest` (rest must be relative).
-  Path Concat(const Path& rest) const;
+  /// Concatenation: `this` then `rest` (rest must be relative). The
+  /// rvalue overload extends this path's step vector in place instead of
+  /// copying it.
+  Path Concat(const Path& rest) const&;
+  Path Concat(const Path& rest) &&;
 
   std::string ToString() const;
 
@@ -57,29 +60,61 @@ class Path {
   std::vector<Step> steps_;
 };
 
+/// Which strategy resolves path steps. Both produce identical results on
+/// every path and context (asserted by tests/xpath_index_test.cpp).
+enum class PathEvalMode : uint8_t {
+  /// Steps resolve against the per-document structural index (xml/index.h):
+  /// a descendant step is a binary-search range scan of the name's
+  /// occurrence list restricted to the context's [pre, pre+size) extent —
+  /// document order for free, no subtree walk. Child/attribute/text steps
+  /// keep the direct chain walk with an occurrence-slice fast path when the
+  /// name is rare under the context.
+  kIndexed,
+  /// Chain-walk of the subtree per step — the pre-index behavior; kept as
+  /// the differential-testing reference and for freshly mutated documents.
+  kScan,
+};
+
 /// Counters the evaluator exposes so the benchmarks can report how often the
-/// nested plan rescans a document (the paper's "|author|+1 scans" argument).
+/// nested plan rescans a document (the paper's "|author|+1 scans" argument)
+/// and how much of that walking the structural index avoids.
 struct XPathStats {
   uint64_t steps_evaluated = 0;
+  /// Nodes touched: chain-walk visits in scan mode, occurrence-list
+  /// candidates in indexed mode.
   uint64_t nodes_visited = 0;
+  /// Occurrence-list probes (one per binary-searched lookup).
+  uint64_t index_lookups = 0;
+  /// Probes the index answered outright (slice emitted, or provably empty);
+  /// the remainder fell back to the chain walk.
+  uint64_t index_hits = 0;
+  /// Subtree nodes a scan-mode walk would have visited that the indexed
+  /// range scan never touched. An upper bound: extents count attributes
+  /// (which the chain walk skips), and nested contexts count their extent
+  /// once per context — mirroring the scan walk, which re-walks an inner
+  /// context's subtree for every enclosing context.
+  uint64_t index_nodes_skipped = 0;
 };
 
 /// Evaluates `path` from a single context node. Results are in document
 /// order and duplicate-free.
 std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
-                              NodeRef context, XPathStats* stats = nullptr);
+                              NodeRef context, XPathStats* stats = nullptr,
+                              PathEvalMode mode = PathEvalMode::kIndexed);
 
 /// Allocation-reusing form of the single-context EvalPath: fills `*out`
 /// (cleared first) instead of returning a fresh vector — for per-tuple path
 /// evaluation loops.
 void EvalPathInto(const Store& store, const Path& path, NodeRef context,
-                  XPathStats* stats, std::vector<NodeRef>* out);
+                  XPathStats* stats, std::vector<NodeRef>* out,
+                  PathEvalMode mode = PathEvalMode::kIndexed);
 
 /// Evaluates `path` from a sequence of context nodes (result merged into
 /// document order, duplicates removed).
 std::vector<NodeRef> EvalPath(const Store& store, const Path& path,
                               std::span<const NodeRef> context,
-                              XPathStats* stats = nullptr);
+                              XPathStats* stats = nullptr,
+                              PathEvalMode mode = PathEvalMode::kIndexed);
 
 }  // namespace nalq::xml
 
