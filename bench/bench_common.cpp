@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace nalq::bench {
 
@@ -11,11 +12,12 @@ namespace {
 
 double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                     int repeats, engine::ExecMode mode,
-                    engine::PathMode path_mode, nal::EvalStats* stats) {
+                    engine::PathMode path_mode, nal::EvalStats* stats,
+                    unsigned threads = 0) {
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     auto start = std::chrono::steady_clock::now();
-    engine::RunResult result = engine.Run(plan, mode, path_mode);
+    engine::RunResult result = engine.Run(plan, mode, path_mode, threads);
     auto end = std::chrono::steady_clock::now();
     if (stats != nullptr) *stats = result.stats;
     double s = std::chrono::duration<double>(end - start).count();
@@ -74,6 +76,7 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"size\":\"" << JsonEscape(r.size) << "\""
       << ",\"mode\":\"" << JsonEscape(r.mode) << "\""
       << ",\"path\":\"" << JsonEscape(r.path) << "\""
+      << ",\"threads\":" << r.threads
       << ",\"seconds\":" << seconds
       << ",\"nested_alg_evals\":" << r.stats.nested_alg_evals
       << ",\"doc_scans\":" << r.stats.doc_scans
@@ -169,6 +172,21 @@ double TimePlanRecorded(const engine::Engine& engine,
       }
       RecordBench(std::move(r));
     }
+  }
+  // Parallel-executor thread sweep (indexed path, the engine default): the
+  // ISSUE/EXPERIMENTS scaling numbers come from these records.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> sweep = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) sweep.push_back(hw);
+  for (unsigned threads : sweep) {
+    BenchRecord r = base;
+    r.mode = "parallel";
+    r.path = "indexed";
+    r.threads = threads;
+    r.seconds = TimePlanImpl(engine, plan, repeats, engine::ExecMode::kParallel,
+                             engine::PathMode::kIndexed, &r.stats, threads);
+    RecordBench(std::move(r));
   }
   return default_seconds;
 }

@@ -34,8 +34,9 @@ struct BenchRecord {
   std::string plan;       ///< plan label, e.g. "grouping"
   std::string parameter;  ///< table parameter, e.g. authors/book; may be empty
   std::string size;       ///< problem size, e.g. books
-  std::string mode;       ///< "streaming" | "materializing"
+  std::string mode;       ///< "streaming" | "materializing" | "parallel"
   std::string path;       ///< "indexed" | "scan"
+  unsigned threads = 1;   ///< degree of parallelism (1 for the serial modes)
   double seconds = 0;
   nal::EvalStats stats;
 };
@@ -49,8 +50,9 @@ void RecordBench(BenchRecord record);
 /// kept unless this process re-measured the same experiment id.
 void WriteBenchResults(const char* path = "BENCH_results.json");
 
-/// Times `plan` under BOTH executors × BOTH path modes, records all four
-/// measurements (with EvalStats from one run each) under experiment `bench`,
+/// Times `plan` under BOTH executors × BOTH path modes plus the parallel
+/// executor (indexed path) across threads ∈ {1, 2, 4, hw}, records every
+/// measurement (with EvalStats from one run each) under experiment `bench`,
 /// and returns the streaming+indexed seconds (the engine default) — a
 /// drop-in replacement for TimePlan in the table loops.
 double TimePlanRecorded(const engine::Engine& engine,

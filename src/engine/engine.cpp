@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "nal/cursor.h"
+#include "nal/exchange.h"
 #include "xml/parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -40,15 +41,24 @@ CompiledQuery Engine::Compile(std::string_view query_text) const {
 }
 
 RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
-                      PathMode path_mode) const {
+                      PathMode path_mode, unsigned threads) const {
   nal::Evaluator evaluator(store_);
   evaluator.set_path_mode(path_mode == PathMode::kIndexed
                               ? xml::PathEvalMode::kIndexed
                               : xml::PathEvalMode::kScan);
-  if (mode == ExecMode::kStreaming) {
-    nal::DrainStreaming(evaluator, *plan);
-  } else {
-    evaluator.Eval(*plan);
+  switch (mode) {
+    case ExecMode::kStreaming:
+      nal::DrainStreaming(evaluator, *plan);
+      break;
+    case ExecMode::kParallel: {
+      nal::ParallelOptions options;
+      options.threads = threads;
+      nal::DrainParallel(evaluator, *plan, options);
+      break;
+    }
+    case ExecMode::kMaterializing:
+      evaluator.Eval(*plan);
+      break;
   }
   RunResult result;
   result.output = evaluator.output();
@@ -57,9 +67,9 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
 }
 
 RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
-                           PathMode path_mode) const {
+                           PathMode path_mode, unsigned threads) const {
   CompiledQuery q = Compile(query_text);
-  return Run(q.best.plan, mode, path_mode);
+  return Run(q.best.plan, mode, path_mode, threads);
 }
 
 }  // namespace nalq::engine

@@ -35,13 +35,18 @@ struct RunResult {
   nal::EvalStats stats;
 };
 
-/// Which executor evaluates a plan. Both produce byte-identical output and
-/// identical EvalStats (asserted by tests/streaming_exec_test.cpp); the
-/// streaming executor pipelines tuples and only materializes at true
-/// pipeline breakers (see src/nal/cursor.h).
+/// Which executor evaluates a plan. All three produce byte-identical output
+/// and identical EvalStats (asserted by tests/streaming_exec_test.cpp and
+/// tests/exchange_exec_test.cpp); the streaming executor pipelines tuples
+/// and only materializes at true pipeline breakers (see src/nal/cursor.h),
+/// and the parallel executor additionally runs the plan's per-tuple operator
+/// segment across worker threads via an order-preserving exchange
+/// (src/nal/exchange.h), falling back to serial streaming on plans without
+/// a partitionable segment.
 enum class ExecMode {
   kStreaming,      ///< Volcano-style pull executor (default)
   kMaterializing,  ///< operator-at-a-time Evaluator::Eval
+  kParallel,       ///< exchange-parallel streaming (threads knob on Run)
 };
 
 /// Which XPath evaluation strategy the evaluators use, mirroring ExecMode.
@@ -73,14 +78,19 @@ class Engine {
   CompiledQuery Compile(std::string_view query_text) const;
 
   /// Evaluates a plan, returning the constructed result and statistics.
+  /// `threads` is the degree of parallelism under ExecMode::kParallel
+  /// (0 = one worker per hardware core) and ignored by the serial modes;
+  /// output and stats are independent of the worker count.
   RunResult Run(const nal::AlgebraPtr& plan,
                 ExecMode mode = ExecMode::kStreaming,
-                PathMode path_mode = PathMode::kIndexed) const;
+                PathMode path_mode = PathMode::kIndexed,
+                unsigned threads = 0) const;
 
   /// Convenience: compile with unnesting and run the best plan.
   RunResult RunQuery(std::string_view query_text,
                      ExecMode mode = ExecMode::kStreaming,
-                     PathMode path_mode = PathMode::kIndexed) const;
+                     PathMode path_mode = PathMode::kIndexed,
+                     unsigned threads = 0) const;
 
  private:
   xml::Store store_;

@@ -58,17 +58,64 @@ bool ContainsXiProgram(const XiProgram& program) {
   return false;
 }
 
-bool ContainsXi(const AlgebraOp& op) {
-  if (op.kind == OpKind::kXiSimple || op.kind == OpKind::kXiGroup) return true;
+// ContainsXi restricted to `op`'s own subscripts — the spine children are
+// checked separately by the partition-point analysis. This is the single
+// place that enumerates every subscript slot of an operator; the full
+// subtree walks below build on it, so a future subscript field only needs
+// to be added here.
+bool SubscriptsContainXi(const AlgebraOp& op) {
   if (op.pred != nullptr && ContainsXiExpr(*op.pred)) return true;
   if (op.expr != nullptr && ContainsXiExpr(*op.expr)) return true;
   if (op.agg.filter != nullptr && ContainsXiExpr(*op.agg.filter)) return true;
-  if (ContainsXiProgram(op.s1) || ContainsXiProgram(op.s2) ||
-      ContainsXiProgram(op.s3)) {
-    return true;
-  }
+  return ContainsXiProgram(op.s1) || ContainsXiProgram(op.s2) ||
+         ContainsXiProgram(op.s3);
+}
+
+bool ContainsXi(const AlgebraOp& op) {
+  if (op.kind == OpKind::kXiSimple || op.kind == OpKind::kXiGroup) return true;
+  if (SubscriptsContainXi(op)) return true;
   for (const AlgebraPtr& child : op.children) {
     if (ContainsXi(*child)) return true;
+  }
+  return false;
+}
+
+// True if any operator in the subtree (or in algebra nested inside its
+// subscript expressions) carries a CSE id. A per-worker evaluation of such
+// a node would populate the worker's private CSE cache instead of the
+// shared one — diverging both work and the merged stats from a serial run.
+bool ContainsCse(const AlgebraOp& op);
+
+bool ContainsCseExpr(const Expr& e) {
+  if (e.alg != nullptr && ContainsCse(*e.alg)) return true;
+  if (e.agg.filter != nullptr && ContainsCseExpr(*e.agg.filter)) return true;
+  for (const ExprPtr& child : e.children) {
+    if (ContainsCseExpr(*child)) return true;
+  }
+  return false;
+}
+
+bool ContainsCseProgram(const XiProgram& program) {
+  for (const XiCommand& c : program) {
+    if (c.expr != nullptr && ContainsCseExpr(*c.expr)) return true;
+  }
+  return false;
+}
+
+// Subscript-only form, mirroring SubscriptsContainXi.
+bool SubscriptsContainCse(const AlgebraOp& op) {
+  if (op.pred != nullptr && ContainsCseExpr(*op.pred)) return true;
+  if (op.expr != nullptr && ContainsCseExpr(*op.expr)) return true;
+  if (op.agg.filter != nullptr && ContainsCseExpr(*op.agg.filter)) return true;
+  return ContainsCseProgram(op.s1) || ContainsCseProgram(op.s2) ||
+         ContainsCseProgram(op.s3);
+}
+
+bool ContainsCse(const AlgebraOp& op) {
+  if (op.cse_id >= 0) return true;
+  if (SubscriptsContainCse(op)) return true;
+  for (const AlgebraPtr& child : op.children) {
+    if (ContainsCse(*child)) return true;
   }
   return false;
 }
@@ -989,14 +1036,63 @@ CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx) {
 }  // namespace
 
 CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx) {
+  if (ctx.exchange_op == &op && ctx.make_exchange != nullptr) {
+    // Fire the injection once; the exchange builds its own source cursor
+    // through this same context, and must not recurse into itself.
+    std::function<CursorPtr(ExecContext&)> factory =
+        std::move(ctx.make_exchange);
+    ctx.make_exchange = nullptr;
+    return factory(ctx);
+  }
   if (op.cse_id >= 0 && ctx.env->empty()) {
     return std::make_unique<CseCursor>(op, ctx);
   }
   return MakeOpCursor(op, ctx);
 }
 
+bool IsPartitionableOp(const AlgebraOp& op) {
+  switch (op.kind) {
+    case OpKind::kSelect:
+    case OpKind::kMap:
+    case OpKind::kUnnestMap:
+    case OpKind::kUnnest:
+      break;
+    case OpKind::kProject:
+      // ΠD deduplicates across the whole input — state spans tuples.
+      if (op.pmode == ProjectMode::kDistinct) return false;
+      break;
+    default:
+      return false;
+  }
+  // The node itself must not be shared (CSE computes once per run), and its
+  // subscripts must neither write to the Ξ output stream (workers have no
+  // output ordering) nor evaluate CSE-carrying algebra (workers have
+  // private caches).
+  return op.cse_id < 0 && !SubscriptsContainXi(op) &&
+         !SubscriptsContainCse(op);
+}
+
+CursorPtr MakeCursorOver(const AlgebraOp& op, ExecContext& ctx,
+                         CursorPtr input) {
+  switch (op.kind) {
+    case OpKind::kSelect:
+      return std::make_unique<SelectCursor>(op, ctx, std::move(input));
+    case OpKind::kProject:
+      return std::make_unique<ProjectCursor>(op, ctx, std::move(input));
+    case OpKind::kMap:
+      return std::make_unique<MapCursor>(op, ctx, std::move(input));
+    case OpKind::kUnnestMap:
+      return std::make_unique<UnnestMapCursor>(op, ctx, std::move(input));
+    case OpKind::kUnnest:
+      return std::make_unique<UnnestCursor>(op, ctx, std::move(input));
+    default:
+      throw std::logic_error("MakeCursorOver: operator is not partitionable");
+  }
+}
+
 uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
                         StreamStats* stream) {
+  xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
   Tuple env;
   ExecContext ctx{&ev, &env, stream};
@@ -1011,6 +1107,7 @@ uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
 
 Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
                           StreamStats* stream) {
+  xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
   Tuple env;
   ExecContext ctx{&ev, &env, stream};

@@ -32,6 +32,7 @@
 #define NALQ_NAL_CURSOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "nal/algebra.h"
@@ -47,6 +48,7 @@ struct StreamStats {
   uint64_t buffered_tuples = 0;   ///< currently live in breaker buffers
   uint64_t peak_buffered = 0;     ///< high-water mark of the above
   uint64_t materialized_nodes = 0;  ///< breaker nodes that actually buffered
+  uint64_t exchange_chunks = 0;   ///< morsels dispatched by an exchange
 
   void OnBuffer(uint64_t n) {
     buffered_tuples += n;
@@ -54,6 +56,14 @@ struct StreamStats {
     ++materialized_nodes;
   }
   void OnRelease(uint64_t n) { buffered_tuples -= n; }
+  /// Exchange in-flight accounting: a chunk is buffered between dispatch and
+  /// consumption of its result packet, but the exchange is not a breaker
+  /// node, so materialized_nodes stays untouched.
+  void OnChunkDispatch(uint64_t n) {
+    buffered_tuples += n;
+    if (buffered_tuples > peak_buffered) peak_buffered = buffered_tuples;
+    ++exchange_chunks;
+  }
 };
 
 /// The Volcano iterator protocol. Cursors are single-use: Open once, Next
@@ -72,14 +82,41 @@ using CursorPtr = std::unique_ptr<Cursor>;
 /// Shared state of one streaming execution: the evaluator supplies
 /// expression evaluation, statistics, the Ξ output stream and the CSE cache;
 /// `env` is the (top-level, empty) outer binding every operator sees.
+///
+/// The plan/state split that makes operators per-worker clonable: a cursor
+/// holds only a `const AlgebraOp&` into the shared plan plus its own mutable
+/// iteration state, and every expression evaluation goes through `ev`. The
+/// parallel exchange (exchange.h) instantiates one cursor chain — with its
+/// own ExecContext and Evaluator — per worker over the one shared plan.
 struct ExecContext {
   Evaluator* ev = nullptr;
   const Tuple* env = nullptr;
   StreamStats* stream = nullptr;  ///< optional
+
+  /// Exchange injection point (exchange.h): when MakeCursor reaches the
+  /// plan node `exchange_op`, it returns make_exchange(ctx) — the exchange
+  /// cursor spanning that node's partitionable segment — instead of the
+  /// serial operator cursor. One-shot; null in plain streaming execution.
+  const AlgebraOp* exchange_op = nullptr;
+  std::function<CursorPtr(ExecContext&)> make_exchange;
 };
 
 /// Builds the cursor tree for `op`. `ctx` must outlive the cursor.
 CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx);
+
+/// True if `op`'s cursor processes input tuples one at a time with no state
+/// spanning tuples, no CSE caching and no Ξ output writes — anywhere,
+/// including algebra nested in its subscript expressions. Exactly these
+/// operators may be instantiated once per worker over a partition of their
+/// input without changing output bytes or merged EvalStats (exchange.h):
+/// σ, χ, Υ, μ/μD and Π in keep/drop/rename form.
+bool IsPartitionableOp(const AlgebraOp& op);
+
+/// Builds the operator cursor for the unary, partitionable `op` reading
+/// from `input` instead of building `op.child(0)` — the per-worker clone
+/// path of the exchange. Precondition: IsPartitionableOp(op).
+CursorPtr MakeCursorOver(const AlgebraOp& op, ExecContext& ctx,
+                         CursorPtr input);
 
 /// Pull-runs `op` to exhaustion, discarding root tuples (Ξ side effects
 /// accumulate on the evaluator's output stream). Clears the CSE cache first,

@@ -27,6 +27,22 @@ struct EvalStats {
   xml::XPathStats xpath;
 
   void Reset() { *this = EvalStats(); }
+
+  /// Merges a per-worker counter set (saturating — see xml::SaturatingAdd —
+  /// so a merge can never wrap a counter back to a small value). Every
+  /// counter is a pure sum of per-tuple events, which is what makes the
+  /// parallel executor's merged stats identical to a serial run.
+  EvalStats& operator+=(const EvalStats& other) {
+    nested_alg_evals =
+        xml::SaturatingAdd(nested_alg_evals, other.nested_alg_evals);
+    doc_scans = xml::SaturatingAdd(doc_scans, other.doc_scans);
+    tuples_produced =
+        xml::SaturatingAdd(tuples_produced, other.tuples_produced);
+    predicate_evals =
+        xml::SaturatingAdd(predicate_evals, other.predicate_evals);
+    xpath += other.xpath;
+    return *this;
+  }
 };
 
 /// Evaluates algebra trees against a document store. The evaluator owns the
@@ -34,10 +50,13 @@ struct EvalStats {
 class Evaluator {
  public:
   explicit Evaluator(const xml::Store& store) : store_(store) {}
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   /// Evaluates `op` with no outer bindings. Clears the common-subexpression
   /// cache first (each top-level run re-reads the documents).
   Sequence Eval(const AlgebraOp& op) {
+    xml::StoreReadLease lease(store_);  // single-writer contract (store.h)
     ClearCse();
     return EvalOp(op, Tuple());
   }

@@ -1,0 +1,444 @@
+#include "nal/exchange.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "nal/scheduler.h"
+
+namespace nalq::nal {
+
+namespace {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool IsExpanding(const AlgebraOp& op) {
+  return op.kind == OpKind::kUnnestMap || op.kind == OpKind::kUnnest;
+}
+
+/// The leaf of a worker's cursor chain: replays the tuples of the chunk
+/// currently assigned to the pipeline. Like BufferCursor it re-emits
+/// already-counted tuples (the producer's operator counted them), so Next
+/// never touches tuples_produced.
+class PartitionCursor final : public Cursor {
+ public:
+  void Reset(std::vector<Tuple> tuples) {
+    tuples_ = std::move(tuples);
+    pos_ = 0;
+  }
+  void Open() override { pos_ = 0; }
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = std::move(tuples_[pos_++]);
+    return true;
+  }
+  void Close() override {
+    tuples_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// One worker's clone of the partitionable segment: a private Evaluator
+/// (own EvalStats, own scratch caches, same store and path mode) driving a
+/// private cursor chain over the shared plan nodes. Heap-allocated and
+/// never moved, because ctx points into the object.
+struct WorkerPipeline {
+  std::unique_ptr<Evaluator> ev;
+  Tuple env;  ///< the top-level empty outer binding
+  ExecContext ctx;
+  PartitionCursor* leaf = nullptr;  ///< borrowed from `pipeline`
+  CursorPtr pipeline;
+};
+
+/// State shared between the consumer thread and the chunk tasks. Owned by a
+/// shared_ptr so in-flight tasks stay valid even if the cursor is destroyed
+/// early (the destructor additionally waits for them, protecting the
+/// store/plan references inside the pipelines).
+struct ExchangeState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Result packets by ticket; consumed strictly in ticket order.
+  std::map<uint64_t, std::vector<Tuple>> completed;
+  uint64_t dispatched = 0;
+  uint64_t finished = 0;
+  std::exception_ptr error;
+
+  /// Pipeline pool. The dispatch window (dispatched - finished < dop)
+  /// guarantees a starting task always finds an idle pipeline.
+  std::vector<std::unique_ptr<WorkerPipeline>> pipelines;
+  std::vector<WorkerPipeline*> idle;
+};
+
+void RunChunkTask(const std::shared_ptr<ExchangeState>& state, uint64_t ticket,
+                  std::vector<Tuple> tuples) {
+  WorkerPipeline* wp = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    wp = state->idle.back();
+    state->idle.pop_back();
+  }
+  std::vector<Tuple> packet;
+  try {
+    wp->leaf->Reset(std::move(tuples));
+    // Re-opening per chunk is sound precisely because segment operators are
+    // per-tuple: their Open only resets within-tuple iteration state, so
+    // the concatenation of per-chunk runs equals one run over the whole
+    // stream.
+    wp->pipeline->Open();
+    Tuple t;
+    while (wp->pipeline->Next(&t)) packet.push_back(std::move(t));
+    wp->pipeline->Close();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->error == nullptr) state->error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->idle.push_back(wp);
+    state->completed.emplace(ticket, std::move(packet));
+    ++state->finished;
+  }
+  state->cv.notify_all();
+}
+
+/// The order-preserving merge side of the exchange, and the cursor the rest
+/// of the (serial) plan sees in place of the segment. Next() interleaves
+/// three roles on the consumer thread: pull the producer and dispatch
+/// chunks, wait for workers, and re-emit completed packets in ticket order.
+/// All main-Evaluator use (producer subtree, operators above the exchange)
+/// therefore stays on one thread; workers only ever touch their own
+/// evaluators.
+class MergeCursor final : public Cursor {
+ public:
+  MergeCursor(const PartitionPoint& point, ExecContext& ctx,
+              const ParallelOptions& options)
+      : point_(point), ctx_(ctx), options_(options) {}
+
+  ~MergeCursor() override { WaitForTasks(); }
+
+  void Open() override {
+    dop_ = ResolveThreads(options_.threads);
+    Scheduler::Global().EnsureThreads(dop_);
+    state_ = std::make_shared<ExchangeState>();
+    for (unsigned w = 0; w < dop_; ++w) {
+      auto wp = std::make_unique<WorkerPipeline>();
+      wp->ev = std::make_unique<Evaluator>(ctx_.ev->store());
+      wp->ev->set_path_mode(ctx_.ev->path_mode());
+      wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr};
+      auto leaf = std::make_unique<PartitionCursor>();
+      wp->leaf = leaf.get();
+      CursorPtr chain = std::move(leaf);
+      for (auto it = point_.segment.rbegin(); it != point_.segment.rend();
+           ++it) {
+        chain = MakeCursorOver(**it, wp->ctx, std::move(chain));
+      }
+      wp->pipeline = std::move(chain);
+      state_->idle.push_back(wp.get());
+      state_->pipelines.push_back(std::move(wp));
+    }
+    source_ = MakeCursor(*point_.source, ctx_);
+    source_->Open();
+    source_open_ = true;
+    source_done_ = false;
+    next_ticket_ = 0;
+    total_dispatched_ = 0;
+    current_.clear();
+    cpos_ = 0;
+    if (options_.strategy == PartitionStrategy::kRange) MaterializeRanges();
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (cpos_ < current_.size()) {
+        *out = std::move(current_[cpos_++]);
+        return true;
+      }
+      if (!FetchNextPacket()) return false;
+    }
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    WaitForTasks();
+    CloseSource();
+    if (ctx_.stream != nullptr) {
+      for (const auto& [ticket, n] : chunk_input_sizes_) {
+        ctx_.stream->OnRelease(n);
+      }
+      // Range chunks never dispatched were charged by the materialization
+      // but have no per-ticket entry yet.
+      for (const std::vector<Tuple>& chunk : pending_) {
+        ctx_.stream->OnRelease(chunk.size());
+      }
+    }
+    chunk_input_sizes_.clear();
+    pending_.clear();
+    if (state_ != nullptr) {
+      // Fold every worker's counters into the main evaluator — the merged
+      // stats are what makes a parallel run report exactly like a serial
+      // one.
+      for (const auto& wp : state_->pipelines) {
+        ctx_.ev->stats() += wp->ev->stats();
+      }
+    }
+  }
+
+ private:
+  void WaitForTasks() {
+    if (state_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock,
+                    [&] { return state_->finished == state_->dispatched; });
+  }
+
+  void CloseSource() {
+    if (source_open_) {
+      source_->Close();
+      source_open_ = false;
+    }
+  }
+
+  /// Range strategy: materialize the producer and pre-split it into one
+  /// contiguous chunk per worker.
+  void MaterializeRanges() {
+    std::vector<Tuple> all;
+    Tuple t;
+    while (source_->Next(&t)) all.push_back(std::move(t));
+    CloseSource();
+    source_done_ = true;
+    if (ctx_.stream != nullptr && !all.empty()) {
+      ctx_.stream->OnBuffer(all.size());
+    }
+    if (all.empty()) return;
+    size_t per = (all.size() + dop_ - 1) / dop_;
+    for (size_t begin = 0; begin < all.size(); begin += per) {
+      size_t end = std::min(begin + per, all.size());
+      pending_.emplace_back(
+          std::make_move_iterator(all.begin() + static_cast<ptrdiff_t>(begin)),
+          std::make_move_iterator(all.begin() + static_cast<ptrdiff_t>(end)));
+    }
+  }
+
+  bool SourceExhausted() const {
+    return source_done_ && pending_.empty();
+  }
+
+  /// Pulls the next chunk (from the producer or the pre-split ranges) and
+  /// submits it to the scheduler. False if the source just ran dry.
+  bool DispatchOne() {
+    std::vector<Tuple> tuples;
+    if (options_.strategy == PartitionStrategy::kRange) {
+      if (pending_.empty()) return false;
+      tuples = std::move(pending_.front());
+      pending_.pop_front();
+      // Buffering was charged by the materialization; count the morsel.
+      if (ctx_.stream != nullptr) ++ctx_.stream->exchange_chunks;
+    } else {
+      Tuple t;
+      uint32_t chunk = options_.chunk_tuples == 0 ? 1 : options_.chunk_tuples;
+      bool more = true;
+      while (tuples.size() < chunk && (more = source_->Next(&t))) {
+        tuples.push_back(std::move(t));
+      }
+      if (!more) {
+        // Record exhaustion the moment Next returns false — cursors are
+        // single-use (cursor.h) and must not be pulled past their end on a
+        // later DispatchOne.
+        source_done_ = true;
+        CloseSource();
+      }
+      if (tuples.empty()) return false;
+      if (ctx_.stream != nullptr) ctx_.stream->OnChunkDispatch(tuples.size());
+    }
+    uint64_t ticket = total_dispatched_++;
+    chunk_input_sizes_[ticket] = tuples.size();
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->dispatched;
+    }
+    std::shared_ptr<ExchangeState> state = state_;
+    Scheduler::Global().Submit(
+        [state, ticket, chunk = std::move(tuples)]() mutable {
+          RunChunkTask(state, ticket, std::move(chunk));
+        });
+    return true;
+  }
+
+  /// Advances to the packet of next_ticket_, producing/dispatching or
+  /// waiting as needed. False when every ticket has been consumed.
+  bool FetchNextPacket() {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        if (state_->error != nullptr) {
+          std::exception_ptr error = state_->error;
+          lock.unlock();
+          std::rethrow_exception(error);
+        }
+        auto it = state_->completed.find(next_ticket_);
+        if (it != state_->completed.end()) {
+          current_ = std::move(it->second);
+          state_->completed.erase(it);
+          lock.unlock();
+          cpos_ = 0;
+          auto size_it = chunk_input_sizes_.find(next_ticket_);
+          if (size_it != chunk_input_sizes_.end()) {
+            if (ctx_.stream != nullptr) ctx_.stream->OnRelease(size_it->second);
+            chunk_input_sizes_.erase(size_it);
+          }
+          ++next_ticket_;
+          return true;
+        }
+      }
+      if (!SourceExhausted()) {
+        bool room;
+        {
+          std::lock_guard<std::mutex> lock(state_->mu);
+          room = state_->dispatched - state_->finished < dop_;
+        }
+        if (room) {
+          DispatchOne();
+          continue;
+        }
+      } else if (next_ticket_ >= total_dispatched_) {
+        return false;
+      }
+      // Workers are busy on every pipeline (or hold the ticket we need):
+      // wait for a completion, which frees a pipeline and may be ours.
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->cv.wait(lock, [&] {
+        return state_->error != nullptr ||
+               state_->completed.count(next_ticket_) != 0 ||
+               (!SourceExhausted() &&
+                state_->dispatched - state_->finished < dop_);
+      });
+    }
+  }
+
+  const PartitionPoint point_;
+  ExecContext& ctx_;
+  const ParallelOptions options_;
+  unsigned dop_ = 1;
+
+  std::shared_ptr<ExchangeState> state_;
+  CursorPtr source_;
+  bool source_open_ = false;
+  bool source_done_ = false;
+  bool closed_ = false;
+
+  std::deque<std::vector<Tuple>> pending_;  ///< range mode: pre-split chunks
+
+  // Consumer-thread bookkeeping (never touched by tasks).
+  uint64_t total_dispatched_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::map<uint64_t, uint64_t> chunk_input_sizes_;
+  std::vector<Tuple> current_;
+  size_t cpos_ = 0;
+};
+
+}  // namespace
+
+std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root) {
+  std::vector<const AlgebraOp*> spine;
+  for (const AlgebraOp* op = &root; op != nullptr;
+       op = op->children.empty() ? nullptr : op->child(0).get()) {
+    spine.push_back(op);
+  }
+  // Deepest partitionable operator, extended upward to a maximal run —
+  // deepest because that is where the tuple stream is widest (right above
+  // the unnest that expands the document scan).
+  int bottom = -1;
+  for (int i = static_cast<int>(spine.size()) - 1; i >= 0; --i) {
+    if (IsPartitionableOp(*spine[i])) {
+      bottom = i;
+      break;
+    }
+  }
+  if (bottom < 0) return std::nullopt;
+  int top = bottom;
+  while (top > 0 && IsPartitionableOp(*spine[top - 1])) --top;
+  // Every partitionable op is unary, so the spine continues below `bottom`.
+  int src = bottom + 1;
+  // Demote non-expanding tail operators (□, the doc() binding χ, σ...) into
+  // the source until it is Υ/μ-rooted: chunking only pays on a producer
+  // that actually fans out into many tuples.
+  while (!IsExpanding(*spine[src])) {
+    if (bottom < top) return std::nullopt;
+    src = bottom;
+    --bottom;
+  }
+  if (bottom < top) return std::nullopt;
+  PartitionPoint point;
+  point.top = spine[top];
+  point.segment.assign(spine.begin() + top, spine.begin() + bottom + 1);
+  point.source = spine[src];
+  return point;
+}
+
+namespace {
+
+template <typename Emit>
+uint64_t RunParallel(Evaluator& ev, const AlgebraOp& op,
+                     const ParallelOptions& options, StreamStats* stream,
+                     Emit&& emit) {
+  std::optional<PartitionPoint> point = FindPartitionPoint(op);
+  xml::StoreReadLease lease(ev.store());
+  ev.ClearCse();
+  Tuple env;
+  ExecContext ctx{&ev, &env, stream};
+  if (point.has_value()) {
+    ctx.exchange_op = point->top;
+    const PartitionPoint* pp = &*point;
+    ctx.make_exchange = [pp, &options](ExecContext& c) -> CursorPtr {
+      return std::make_unique<MergeCursor>(*pp, c, options);
+    };
+  }
+  CursorPtr root = MakeCursor(op, ctx);
+  uint64_t count = 0;
+  Tuple t;
+  try {
+    root->Open();
+    while (root->Next(&t)) {
+      emit(std::move(t));
+      ++count;
+    }
+  } catch (...) {
+    root->Close();
+    throw;
+  }
+  root->Close();
+  return count;
+}
+
+}  // namespace
+
+uint64_t DrainParallel(Evaluator& ev, const AlgebraOp& op,
+                       const ParallelOptions& options, StreamStats* stream) {
+  return RunParallel(ev, op, options, stream, [](Tuple&&) {});
+}
+
+Sequence ExecuteParallel(Evaluator& ev, const AlgebraOp& op,
+                         const ParallelOptions& options, StreamStats* stream) {
+  Sequence out;
+  RunParallel(ev, op, options, stream,
+              [&out](Tuple&& t) { out.Append(std::move(t)); });
+  return out;
+}
+
+}  // namespace nalq::nal

@@ -1,0 +1,91 @@
+// Parallel partitioned execution for the NAL streaming executor — classical
+// exchange-operator parallelism over the Volcano cursors of cursor.h.
+//
+// The plan is cut at a *partition point*: a maximal run of per-tuple
+// streaming operators (σ, χ, Υ, μ, Π-keep/drop — see IsPartitionableOp)
+// sitting above an expanding producer. The producer subtree runs serially on
+// the consumer thread and its tuple stream is split into chunks ("morsels");
+// each chunk becomes a task on the work-stealing scheduler (scheduler.h)
+// that runs the chunk through a per-worker clone of the operator run — its
+// own cursor chain over the shared plan, driven by its own Evaluator — and
+// publishes the resulting packet under the chunk's ticket. The MergeCursor
+// re-emits packets in strict ticket order, so the merged stream is
+// tuple-for-tuple the serial streaming stream.
+//
+// Determinism guarantees, at any worker count and chunk size:
+//   * output bytes — the worker segment never writes to the Ξ output stream
+//     (enforced by IsPartitionableOp), everything above the exchange runs on
+//     the consumer thread in merge order, and the producer subtree runs
+//     serially on the consumer thread too, so every output write happens in
+//     the serial order;
+//   * merged EvalStats — every per-worker counter counts per-tuple events
+//     exactly once, so the fold of worker stats into the main evaluator at
+//     Close (EvalStats::operator+=) reproduces the serial totals.
+// tests/exchange_exec_test.cpp asserts both differentially.
+//
+// Shared read paths that make this safe: the store's build-once index latch
+// (xml/store.h), the mutex-guarded node string-value memo (xml/node.h) and
+// the per-thread scratch buffers in xpath.cpp/physical.cpp.
+#ifndef NALQ_NAL_EXCHANGE_H_
+#define NALQ_NAL_EXCHANGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "nal/cursor.h"
+
+namespace nalq::nal {
+
+/// How source tuples are assigned to chunks.
+enum class PartitionStrategy : uint8_t {
+  /// Fixed-size chunks dispatched round-robin as the producer streams —
+  /// bounded memory, overlap of production and processing.
+  kRoundRobin,
+  /// The producer is materialized and split into `threads` contiguous
+  /// ranges, one chunk per worker — fewer, larger tasks; the classical
+  /// range-partitioned exchange.
+  kRange,
+};
+
+struct ParallelOptions {
+  /// Degree of parallelism (worker pipelines / concurrent chunk tasks).
+  /// 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  PartitionStrategy strategy = PartitionStrategy::kRoundRobin;
+  /// Morsel size for round-robin partitioning.
+  uint32_t chunk_tuples = 64;
+};
+
+/// A chosen cut of the plan: `segment` (top-down, segment.front() == top)
+/// is the run of partitionable operators every worker clones; `source` is
+/// the producer subtree below it, evaluated serially.
+struct PartitionPoint {
+  const AlgebraOp* top = nullptr;
+  std::vector<const AlgebraOp*> segment;
+  const AlgebraOp* source = nullptr;
+};
+
+/// Finds the deepest maximal run of partitionable operators on the plan's
+/// child(0) spine whose producer is an expanding operator (Υ/μ), demoting
+/// non-expanding spine tail ops into the source so the chunked stream has
+/// real cardinality. nullopt if the plan has no such cut — the caller falls
+/// back to serial streaming.
+std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root);
+
+/// Pull-runs `op` with the partitionable segment executed in parallel,
+/// discarding root tuples — the parallel counterpart of DrainStreaming.
+/// Byte-identical output and identical (merged) EvalStats at any `threads`.
+/// Falls back to serial streaming when no partition point exists.
+uint64_t DrainParallel(Evaluator& ev, const AlgebraOp& op,
+                       const ParallelOptions& options = {},
+                       StreamStats* stream = nullptr);
+
+/// Pull-runs `op` in parallel and collects the root output — the parallel
+/// counterpart of ExecuteStreaming, used by the differential tests.
+Sequence ExecuteParallel(Evaluator& ev, const AlgebraOp& op,
+                         const ParallelOptions& options = {},
+                         StreamStats* stream = nullptr);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_EXCHANGE_H_

@@ -1,0 +1,108 @@
+#include "nal/scheduler.h"
+
+#include <algorithm>
+
+namespace nalq::nal {
+
+Scheduler& Scheduler::Global() {
+  // Leaked intentionally: worker threads may still be parked in the pool
+  // when static destructors run; tearing the pool down underneath them is
+  // a shutdown crash for no benefit.
+  static Scheduler* pool = []() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new Scheduler(hw == 0 ? 1 : hw);
+  }();
+  return *pool;
+}
+
+Scheduler::Scheduler(unsigned initial_threads) {
+  workers_.reserve(kMaxThreads);
+  threads_.reserve(kMaxThreads);
+  EnsureThreads(initial_threads == 0 ? 1 : initial_threads);
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Scheduler::EnsureThreads(unsigned n) {
+  n = std::min(n, kMaxThreads);
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  while (count_.load(std::memory_order_relaxed) < n) {
+    workers_.push_back(std::make_unique<Worker>());
+    size_t self = workers_.size() - 1;
+    // Publish the new slot before the thread (or any Submit) can index it.
+    count_.store(workers_.size(), std::memory_order_release);
+    threads_.emplace_back([this, self] { WorkerLoop(self); });
+  }
+}
+
+void Scheduler::Submit(std::function<void()> task) {
+  size_t n = count_.load(std::memory_order_acquire);
+  size_t target = next_.fetch_add(1, std::memory_order_relaxed) % n;
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // The notify pairs with the idle wait below; taking pool_mu_ here closes
+  // the window where a worker checks the deques, finds them empty, and
+  // sleeps just as this task arrives.
+  { std::lock_guard<std::mutex> lock(pool_mu_); }
+  idle_cv_.notify_one();
+}
+
+bool Scheduler::TryPop(size_t self, std::function<void()>* task) {
+  size_t n = count_.load(std::memory_order_acquire);
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (size_t i = 1; i < n; ++i) {
+    Worker& victim = *workers_[(self + i) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::HasWork() {
+  size_t n = count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    std::lock_guard<std::mutex> lock(workers_[i]->mu);
+    if (!workers_[i]->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void Scheduler::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  while (true) {
+    if (TryPop(self, &task)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    if (stop_) return;
+    idle_cv_.wait(lock, [this] { return stop_ || HasWork(); });
+    if (stop_) return;
+  }
+}
+
+}  // namespace nalq::nal

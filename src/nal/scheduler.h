@@ -1,0 +1,97 @@
+// Work-stealing thread pool for the parallel executor (exchange.h).
+//
+// A small, process-wide pool of worker threads, each with its own task
+// deque. Submitted tasks are distributed round-robin across the deques;
+// a worker pops its own deque LIFO (cache-warm, newest first) and, when
+// empty, steals the OLDEST task from a sibling — the classic work-stealing
+// discipline that keeps coarse-grained morsel tasks balanced without a
+// central queue bottleneck.
+//
+// Tasks must be self-contained units of work: they may take mutexes and
+// signal condition variables, but must never block waiting on another
+// *task* (the pool makes no guarantee that any other task is running
+// concurrently, so task-on-task waits can deadlock a small pool). The
+// exchange operator obeys this by design — chunk tasks only compute and
+// publish; all cross-task waiting happens on the consumer thread, which is
+// never a pool thread.
+#ifndef NALQ_NAL_SCHEDULER_H_
+#define NALQ_NAL_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nalq::nal {
+
+class Scheduler {
+ public:
+  /// The process-wide pool, created on first use with one thread per
+  /// hardware core. Never destroyed before process exit.
+  static Scheduler& Global();
+
+  /// Grows the pool to at least `n` threads (never shrinks; capped at
+  /// kMaxThreads). Called by the exchange with the requested degree of
+  /// parallelism before submitting work.
+  void EnsureThreads(unsigned n);
+
+  /// Enqueues `task` for execution on some pool thread.
+  void Submit(std::function<void()> task);
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(count_.load(std::memory_order_acquire));
+  }
+  /// Tasks a worker took from a sibling's deque (observability for tests).
+  uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed in total.
+  uint64_t task_count() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Growing past this many threads is clamped (also the reserve() bound
+  /// that keeps worker slots at stable addresses while the pool grows).
+  static constexpr unsigned kMaxThreads = 256;
+
+  explicit Scheduler(unsigned initial_threads);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops one task: own deque back (LIFO), else steal a sibling's front
+  /// (FIFO). Returns false when every deque is empty.
+  bool TryPop(size_t self, std::function<void()>* task);
+  bool HasWork();
+
+  // Worker slots are heap-allocated and the vector pre-reserved, so worker
+  // threads may index workers_[0..count_) without synchronizing against
+  // pool growth.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<size_t> count_{0};
+  std::vector<std::thread> threads_;
+
+  std::mutex pool_mu_;  ///< guards growth, shutdown and the idle wait
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+
+  std::atomic<size_t> next_{0};  ///< round-robin submit target
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_SCHEDULER_H_

@@ -2,7 +2,9 @@
 
 namespace nalq::xml {
 
-Document::Document(std::string name) : name_(std::move(name)) {
+Document::Document(std::string name)
+    : name_(std::move(name)),
+      string_value_cache_(std::make_unique<StringValueCache>()) {
   Node doc;
   doc.kind = NodeKind::kDocument;
   doc.subtree_end = 1;
@@ -111,16 +113,37 @@ std::string Document::StringValue(NodeId id) const {
   return out;
 }
 
-const std::shared_ptr<const std::string>& Document::SharedStringValue(
+void Document::PrepareSharedReads() const {
+  StringValueCache& cache = *string_value_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.slots.size() < nodes_.size()) cache.slots.resize(nodes_.size());
+}
+
+std::shared_ptr<const std::string> Document::SharedStringValue(
     NodeId id) const {
-  if (string_value_cache_.size() <= id) {
-    string_value_cache_.resize(nodes_.size());
+  StringValueCache& cache = *string_value_cache_;
+  if (cache.slots.size() <= id) {
+    // Lazy growth for documents used outside a Store (single-threaded by
+    // the xml/store.h contract; store-held documents are pre-sized at load
+    // time and at every StoreReadLease boundary, so they never take this
+    // relocating branch while concurrent readers exist).
+    PrepareSharedReads();
   }
-  std::shared_ptr<const std::string>& slot = string_value_cache_[id];
-  if (slot == nullptr) {
-    slot = std::make_shared<const std::string>(StringValue(id));
+  StringValueCache::Slot& slot = cache.slots[id];
+  // Hot path: lock-free hit.
+  if (slot.ready.load(std::memory_order_acquire) != nullptr) {
+    return slot.value;
   }
-  return slot;
+  // Compute outside the lock: string-value walks can be long, and two
+  // workers racing on the same cold node both compute — the first publish
+  // wins and the loser's copy is dropped.
+  auto value = std::make_shared<const std::string>(StringValue(id));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (slot.ready.load(std::memory_order_relaxed) == nullptr) {
+    slot.value = std::move(value);
+    slot.ready.store(slot.value.get(), std::memory_order_release);
+  }
+  return slot.value;
 }
 
 size_t Document::CountElements(std::string_view tag) const {

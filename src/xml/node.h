@@ -17,9 +17,11 @@
 #ifndef NALQ_XML_NODE_H_
 #define NALQ_XML_NODE_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -105,9 +107,21 @@ class Document {
 
   /// Memoized shared form of StringValue: the first call per node computes
   /// and caches the string, later calls (and every Value atomized from the
-  /// node) share the one allocation. Evaluation is single-threaded; the
-  /// cache is per-document and lives until the document is dropped.
-  const std::shared_ptr<const std::string>& SharedStringValue(NodeId id) const;
+  /// node) share the one allocation. Safe under concurrent readers (the
+  /// parallel executor's workers share one document store): hits read an
+  /// atomically published slot with no lock — this is the Atomize hot path,
+  /// a per-document mutex here convoys badly under contention — and cold
+  /// fills compute outside a build mutex, first publisher wins. The cache
+  /// is per-document and lives until the document is dropped.
+  std::shared_ptr<const std::string> SharedStringValue(NodeId id) const;
+
+  /// Pre-sizes the string-value memo to node_count() so concurrent readers
+  /// never race a lazy grow. Called by Store::AddDocument and at every
+  /// StoreReadLease boundary (both reader-free points by the single-writer
+  /// contract in xml/store.h, so the relocating resize cannot run under a
+  /// concurrent lock-free hit); documents used outside a Store grow the
+  /// memo lazily, which is safe single-threaded.
+  void PrepareSharedReads() const;
 
   /// Number of element nodes named `tag` in the whole document.
   size_t CountElements(std::string_view tag) const;
@@ -126,14 +140,35 @@ class Document {
   NodeId NewNode(NodeKind kind, NodeId parent);
   void AppendChild(NodeId parent, NodeId child);
 
+  /// String-value memo. Heap-allocated so Document stays movable (the mutex
+  /// and atomics are not); eagerly created in the constructor, so
+  /// concurrent readers never race on the pointer itself. Slots are flat —
+  /// the hot hit path is one array load plus one acquire-load, no hashing,
+  /// no lock. `ready` republishes `value` after the one-time fill; once
+  /// non-null, `value` is never written again, so concurrent shared_ptr
+  /// copies (atomic refcount) are safe.
+  struct StringValueCache {
+    struct Slot {
+      std::shared_ptr<const std::string> value;
+      std::atomic<const std::string*> ready{nullptr};
+
+      Slot() = default;
+      // Used only by single-threaded growth under `mu` (see
+      // PrepareSharedReads); slots are never moved while readers exist.
+      Slot(Slot&& other) noexcept
+          : value(std::move(other.value)),
+            ready(other.ready.load(std::memory_order_relaxed)) {}
+    };
+    std::mutex mu;
+    std::vector<Slot> slots;
+  };
+
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<std::string> texts_;
   StringInterner names_;
   std::string dtd_text_;
-  // Lazily grown to node_count(); flat so the hot hit path is one array
-  // load, no hashing.
-  mutable std::vector<std::shared_ptr<const std::string>> string_value_cache_;
+  mutable std::unique_ptr<StringValueCache> string_value_cache_;
 };
 
 using DocId = uint32_t;

@@ -1,5 +1,7 @@
 #include "xml/store.h"
 
+#include <cassert>
+
 #include "xml/parser.h"
 
 namespace nalq::xml {
@@ -20,22 +22,81 @@ DocId AddDocumentImpl(std::vector<std::unique_ptr<Document>>* documents,
 }
 
 DocId Store::AddDocument(Document doc) {
+  // Single-writer contract: replacing a document resets its index slot, so
+  // a concurrently open cursor could keep scanning a freed index. Catch the
+  // misuse in Debug builds; the contract itself is documented in store.h.
+  assert(open_readers() == 0 &&
+         "Store::AddDocument while cursors are open: loading and evaluation "
+         "must not overlap (see single-writer contract in xml/store.h)");
   DocId id = AddDocumentImpl(&documents_, &by_name_, std::move(doc));
+  // Pre-size the string-value memo while we are still writer-exclusive, so
+  // parallel readers never race a lazy grow (xml/node.h).
+  documents_[id]->PrepareSharedReads();
   // Invalidate the structural index: the slot either belongs to the replaced
   // document or is fresh. Rebuilt lazily by index().
-  if (indexes_.size() <= id) indexes_.resize(id + 1);
-  indexes_[id].reset();
+  if (indexes_.size() <= id) {
+    indexes_.reserve(documents_.size());
+    while (indexes_.size() <= id) {
+      indexes_.push_back(std::make_unique<IndexSlot>());
+    }
+  }
+  indexes_[id]->ready.store(nullptr, std::memory_order_release);
+  indexes_[id]->index.reset();
+  indexes_[id]->retired.clear();  // writer-exclusive: no reader holds them
   return id;
 }
 
-const DocumentIndex& Store::index(DocId id) const {
-  if (indexes_.size() <= id) indexes_.resize(id + 1);
-  const Document& doc = *documents_[id];
-  std::unique_ptr<DocumentIndex>& slot = indexes_[id];
-  if (slot == nullptr || slot->built_node_count() != doc.node_count()) {
-    slot = std::make_unique<DocumentIndex>(doc);
+void Store::PrepareForRead() const {
+  // Lease-boundary stale repair (see the file comment in store.h). Other
+  // evaluations may already be running; for them every document is
+  // unchanged since their own lease (mutation asserts reader-free), so
+  // everything below is a no-op for their state — sizes already match,
+  // no slot tests stale, nothing to reclaim — and never disturbs their
+  // lock-free read paths.
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  for (DocId id = 0; id < documents_.size(); ++id) {
+    documents_[id]->PrepareSharedReads();
+    if (id >= indexes_.size()) continue;
+    IndexSlot& slot = *indexes_[id];
+    const DocumentIndex* ready = slot.ready.load(std::memory_order_acquire);
+    if (ready != nullptr &&
+        ready->built_node_count() != documents_[id]->node_count()) {
+      // Mutated since the build: drop the stale index now, while no new
+      // reader has started, so index() below only ever performs
+      // null → build-once transitions during evaluation.
+      slot.ready.store(nullptr, std::memory_order_release);
+      slot.retired.push_back(std::move(slot.index));
+    }
+    if (open_readers() == 0) slot.retired.clear();
   }
-  return *slot;
+}
+
+const DocumentIndex& Store::index(DocId id) const {
+  assert(id < indexes_.size());
+  IndexSlot& slot = *indexes_[id];
+  const Document& doc = *documents_[id];
+  // Hot path: one acquire-load. The node-count check catches a document
+  // mutated in place after the build (grown via the non-const accessor);
+  // under the single-writer contract every reader of the mutated document
+  // sees the mismatch and funnels into the rebuild below.
+  const DocumentIndex* ready = slot.ready.load(std::memory_order_acquire);
+  if (ready != nullptr && ready->built_node_count() == doc.node_count()) {
+    return *ready;
+  }
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  ready = slot.ready.load(std::memory_order_acquire);
+  if (ready == nullptr || ready->built_node_count() != doc.node_count()) {
+    // Retire (don't free) a stale index: a concurrent reader may have
+    // loaded the old pointer just before we got here. Under the lease
+    // discipline this branch only sees `ready == nullptr` during an
+    // evaluation (PrepareForRead dropped stale slots at the boundary), so
+    // retirement is a safety net for leaseless single-threaded use.
+    if (slot.index != nullptr) slot.retired.push_back(std::move(slot.index));
+    slot.index = std::make_unique<DocumentIndex>(doc);
+    ready = slot.index.get();
+    slot.ready.store(ready, std::memory_order_release);
+  }
+  return *ready;
 }
 
 DocId Store::AddDocumentText(std::string name, std::string_view xml_text) {

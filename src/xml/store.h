@@ -1,9 +1,31 @@
 // In-memory document store: the "database" documents are loaded into and the
 // resolver behind the XQuery doc()/document() functions.
+//
+// Concurrency contract (single writer, many readers): loading or mutating
+// documents and evaluating queries never overlap. AddDocument /
+// AddDocumentText / in-place mutation through the non-const document()
+// accessor may only run while no evaluation is in flight; during an
+// evaluation any number of threads (the parallel executor's workers,
+// nal/exchange.h) may read documents and indexes concurrently. Readers
+// announce themselves through BeginRead/EndRead — every evaluation entry
+// point holds a StoreReadLease for the duration of the run (Evaluator::Eval,
+// the streaming Drain/Execute helpers, the parallel exchange) — and
+// AddDocument asserts in Debug builds that no reader is open, catching the
+// use-after-invalidate where a cursor still iterates an index slot that
+// AddDocument is about to reset.
+//
+// Stale-state repair (a document mutated in place since its index or
+// string-value memo was built) happens at the lease boundary, where the
+// contract guarantees writer-exclusivity relative to *new* readers: the
+// lease pre-sizes every document's string-value memo and drops stale index
+// slots, so during evaluation the lock-free read paths only ever observe
+// null→published transitions, never frees or relocations.
 #ifndef NALQ_XML_STORE_H_
 #define NALQ_XML_STORE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,6 +46,8 @@ class Store {
   Store& operator=(const Store&) = delete;
 
   /// Adds (or replaces) a document under its own name. Returns its id.
+  /// Writer-side of the single-writer contract: must not run while any
+  /// reader is registered (Debug builds assert).
   DocId AddDocument(Document doc);
 
   /// Parses `xml_text` and adds it under `name`.
@@ -44,14 +68,71 @@ class Store {
   /// The document's structural index (xml/index.h), built lazily on first
   /// use. AddDocument invalidates the slot when it replaces a document, and
   /// a stale index (document mutated after the build) is rebuilt here.
-  /// Evaluation is single-threaded (see Document::SharedStringValue), so the
-  /// mutable lazy build needs no synchronization.
+  /// Safe under concurrent readers: the built index is published through an
+  /// atomic pointer (one acquire-load on the hot path) and cold builds are
+  /// serialized by a build mutex — a build-once latch per document. The
+  /// stale-rebuild path retires (never frees) the previous index, so a
+  /// reader that loaded the old pointer just before the rebuild still
+  /// dereferences live memory; retired indexes are reclaimed by the next
+  /// writer (AddDocument) or lease boundary, both reader-free by contract.
   const DocumentIndex& index(DocId id) const;
 
+  /// Lease-boundary stale repair (see the file comment): pre-sizes every
+  /// document's string-value memo, drops stale index slots and reclaims
+  /// retired indexes. Called by StoreReadLease; must not run concurrently
+  /// with document mutation (single-writer contract).
+  void PrepareForRead() const;
+
+  /// Reader registration for the single-writer contract (see file comment).
+  /// Cheap relaxed counters; pair every BeginRead with one EndRead (or use
+  /// StoreReadLease below). Held for the duration of an evaluation — while
+  /// cursors are open — not for the lifetime of an Evaluator, so a test may
+  /// still construct an evaluator first and load documents afterwards.
+  void BeginRead() const {
+    open_readers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndRead() const {
+    open_readers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  int open_readers() const {
+    return open_readers_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One lazily built index. The unique_ptr owns the storage; `ready`
+  /// republishes it to readers without taking the build mutex on hits.
+  /// `retired` keeps replaced stale indexes alive until a reader-free
+  /// point (AddDocument / PrepareForRead) reclaims them.
+  struct IndexSlot {
+    std::unique_ptr<DocumentIndex> index;
+    std::atomic<const DocumentIndex*> ready{nullptr};
+    std::vector<std::unique_ptr<DocumentIndex>> retired;
+  };
+
   std::vector<std::unique_ptr<Document>> documents_;
   std::unordered_map<std::string, DocId> by_name_;
-  mutable std::vector<std::unique_ptr<DocumentIndex>> indexes_;
+  // Slot pointers are stable; the vector itself only grows inside
+  // AddDocument (writer-exclusive), so readers may index it freely.
+  mutable std::vector<std::unique_ptr<IndexSlot>> indexes_;
+  mutable std::mutex index_build_mu_;
+  mutable std::atomic<int> open_readers_{0};
+};
+
+/// RAII reader registration: every evaluation entry point (Evaluator::Eval,
+/// the streaming Drain/Execute helpers, the parallel exchange) holds one of
+/// these while its cursors are open.
+class StoreReadLease {
+ public:
+  explicit StoreReadLease(const Store& store) : store_(&store) {
+    store_->PrepareForRead();
+    store_->BeginRead();
+  }
+  ~StoreReadLease() { store_->EndRead(); }
+  StoreReadLease(const StoreReadLease&) = delete;
+  StoreReadLease& operator=(const StoreReadLease&) = delete;
+
+ private:
+  const Store* store_;
 };
 
 }  // namespace nalq::xml

@@ -75,6 +75,15 @@ enum class PathEvalMode : uint8_t {
   kScan,
 };
 
+/// Saturating add for statistics counters: a merge of per-worker counters
+/// (or a counter running for a very long process) pins at UINT64_MAX
+/// instead of wrapping to a small number that would silently corrupt
+/// reports and differential comparisons.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t sum = a + b;
+  return sum < a ? UINT64_MAX : sum;
+}
+
 /// Counters the evaluator exposes so the benchmarks can report how often the
 /// nested plan rescans a document (the paper's "|author|+1 scans" argument)
 /// and how much of that walking the structural index avoids.
@@ -94,6 +103,19 @@ struct XPathStats {
   /// once per context — mirroring the scan walk, which re-walks an inner
   /// context's subtree for every enclosing context.
   uint64_t index_nodes_skipped = 0;
+
+  /// Merges a per-worker counter set (saturating, see SaturatingAdd). The
+  /// parallel executor gives every worker its own stats and folds them into
+  /// the main evaluator's when the exchange closes.
+  XPathStats& operator+=(const XPathStats& other) {
+    steps_evaluated = SaturatingAdd(steps_evaluated, other.steps_evaluated);
+    nodes_visited = SaturatingAdd(nodes_visited, other.nodes_visited);
+    index_lookups = SaturatingAdd(index_lookups, other.index_lookups);
+    index_hits = SaturatingAdd(index_hits, other.index_hits);
+    index_nodes_skipped =
+        SaturatingAdd(index_nodes_skipped, other.index_nodes_skipped);
+    return *this;
+  }
 };
 
 /// Evaluates `path` from a single context node. Results are in document

@@ -1,0 +1,96 @@
+// Unit tests for the overflow-safe statistics merge helpers
+// (EvalStats::operator+= in nal/eval.h, XPathStats::operator+= and
+// SaturatingAdd in xml/xpath.h) — the merge path the parallel executor uses
+// to fold per-worker counters into the main evaluator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "nal/eval.h"
+#include "xml/xpath.h"
+
+namespace nalq::nal {
+namespace {
+
+TEST(SaturatingAddTest, SumsAndSaturates) {
+  EXPECT_EQ(xml::SaturatingAdd(2, 3), 5u);
+  EXPECT_EQ(xml::SaturatingAdd(0, 0), 0u);
+  EXPECT_EQ(xml::SaturatingAdd(UINT64_MAX, 0), UINT64_MAX);
+  EXPECT_EQ(xml::SaturatingAdd(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(xml::SaturatingAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+  EXPECT_EQ(xml::SaturatingAdd(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(xml::SaturatingAdd(1, UINT64_MAX), UINT64_MAX);
+}
+
+TEST(StatsMergeTest, XPathStatsMergeSumsEveryCounter) {
+  xml::XPathStats a;
+  a.steps_evaluated = 1;
+  a.nodes_visited = 2;
+  a.index_lookups = 3;
+  a.index_hits = 4;
+  a.index_nodes_skipped = 5;
+  xml::XPathStats b;
+  b.steps_evaluated = 10;
+  b.nodes_visited = 20;
+  b.index_lookups = 30;
+  b.index_hits = 40;
+  b.index_nodes_skipped = 50;
+  a += b;
+  EXPECT_EQ(a.steps_evaluated, 11u);
+  EXPECT_EQ(a.nodes_visited, 22u);
+  EXPECT_EQ(a.index_lookups, 33u);
+  EXPECT_EQ(a.index_hits, 44u);
+  EXPECT_EQ(a.index_nodes_skipped, 55u);
+}
+
+TEST(StatsMergeTest, EvalStatsMergeSumsEveryCounterIncludingXPath) {
+  EvalStats a;
+  a.nested_alg_evals = 1;
+  a.doc_scans = 2;
+  a.tuples_produced = 3;
+  a.predicate_evals = 4;
+  a.xpath.steps_evaluated = 5;
+  EvalStats b;
+  b.nested_alg_evals = 100;
+  b.doc_scans = 200;
+  b.tuples_produced = 300;
+  b.predicate_evals = 400;
+  b.xpath.steps_evaluated = 500;
+  a += b;
+  EXPECT_EQ(a.nested_alg_evals, 101u);
+  EXPECT_EQ(a.doc_scans, 202u);
+  EXPECT_EQ(a.tuples_produced, 303u);
+  EXPECT_EQ(a.predicate_evals, 404u);
+  EXPECT_EQ(a.xpath.steps_evaluated, 505u);
+}
+
+TEST(StatsMergeTest, MergeNearOverflowSaturatesInsteadOfWrapping) {
+  EvalStats a;
+  a.tuples_produced = UINT64_MAX - 10;
+  a.xpath.nodes_visited = UINT64_MAX;
+  EvalStats b;
+  b.tuples_produced = 100;
+  b.xpath.nodes_visited = 7;
+  a += b;
+  // A wrap would report a tiny, very wrong number; saturation pins at max.
+  EXPECT_EQ(a.tuples_produced, UINT64_MAX);
+  EXPECT_EQ(a.xpath.nodes_visited, UINT64_MAX);
+}
+
+TEST(StatsMergeTest, MergeOfDefaultStatsIsIdentity) {
+  EvalStats a;
+  a.tuples_produced = 42;
+  a.xpath.index_hits = 7;
+  EvalStats merged = a;
+  merged += EvalStats();
+  EXPECT_EQ(merged.tuples_produced, 42u);
+  EXPECT_EQ(merged.xpath.index_hits, 7u);
+
+  EvalStats from_zero;
+  from_zero += a;
+  EXPECT_EQ(from_zero.tuples_produced, 42u);
+  EXPECT_EQ(from_zero.xpath.index_hits, 7u);
+}
+
+}  // namespace
+}  // namespace nalq::nal
