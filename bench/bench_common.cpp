@@ -13,11 +13,12 @@ namespace {
 double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                     int repeats, engine::ExecMode mode,
                     engine::PathMode path_mode, nal::EvalStats* stats,
-                    unsigned threads = 0) {
+                    unsigned threads = 0, uint64_t budget = 0) {
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     auto start = std::chrono::steady_clock::now();
-    engine::RunResult result = engine.Run(plan, mode, path_mode, threads);
+    engine::RunResult result =
+        engine.Run(plan, mode, path_mode, threads, budget);
     auto end = std::chrono::steady_clock::now();
     if (stats != nullptr) *stats = result.stats;
     double s = std::chrono::duration<double>(end - start).count();
@@ -77,6 +78,7 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"mode\":\"" << JsonEscape(r.mode) << "\""
       << ",\"path\":\"" << JsonEscape(r.path) << "\""
       << ",\"threads\":" << r.threads
+      << ",\"budget\":" << r.budget
       << ",\"seconds\":" << seconds
       << ",\"nested_alg_evals\":" << r.stats.nested_alg_evals
       << ",\"doc_scans\":" << r.stats.doc_scans
@@ -87,6 +89,10 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"index_lookups\":" << r.stats.xpath.index_lookups
       << ",\"index_hits\":" << r.stats.xpath.index_hits
       << ",\"index_nodes_skipped\":" << r.stats.xpath.index_nodes_skipped
+      << ",\"spilled_bytes\":" << r.stats.spill.spilled_bytes
+      << ",\"spill_runs\":" << r.stats.spill.spill_runs
+      << ",\"repartitions\":" << r.stats.spill.repartitions
+      << ",\"merge_passes\":" << r.stats.spill.merge_passes
       << "}";
   return out.str();
 }
@@ -187,6 +193,35 @@ double TimePlanRecorded(const engine::Engine& engine,
     r.seconds = TimePlanImpl(engine, plan, repeats, engine::ExecMode::kParallel,
                              engine::PathMode::kIndexed, &r.stats, threads);
     RecordBench(std::move(r));
+  }
+  // Memory-budget sweep over the budget-aware executors (nal/spool.h). One
+  // run per point — the interesting signal is the SpillStats counters and
+  // the slowdown shape, not a tight median.
+  constexpr uint64_t kBudgets[] = {64u << 20, 8u << 20, 1u << 20};
+  for (uint64_t budget : kBudgets) {
+    {
+      BenchRecord r = base;
+      r.mode = "streaming";
+      r.path = "indexed";
+      r.budget = budget;
+      r.seconds = TimePlanImpl(engine, plan, /*repeats=*/1,
+                               engine::ExecMode::kStreaming,
+                               engine::PathMode::kIndexed, &r.stats,
+                               /*threads=*/0, budget);
+      RecordBench(std::move(r));
+    }
+    for (unsigned threads : {1u, 4u}) {
+      BenchRecord r = base;
+      r.mode = "parallel";
+      r.path = "indexed";
+      r.threads = threads;
+      r.budget = budget;
+      r.seconds = TimePlanImpl(engine, plan, /*repeats=*/1,
+                               engine::ExecMode::kParallel,
+                               engine::PathMode::kIndexed, &r.stats, threads,
+                               budget);
+      RecordBench(std::move(r));
+    }
   }
   return default_seconds;
 }

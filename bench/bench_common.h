@@ -28,7 +28,8 @@ double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                 engine::PathMode path_mode = engine::PathMode::kIndexed);
 
 /// One machine-readable measurement: a plan's wall-clock seconds plus the
-/// EvalStats counters, under one executor × path-mode combination.
+/// EvalStats counters, under one executor × path-mode × memory-budget
+/// combination.
 struct BenchRecord {
   std::string bench;      ///< experiment id, e.g. "E1"
   std::string plan;       ///< plan label, e.g. "grouping"
@@ -37,8 +38,9 @@ struct BenchRecord {
   std::string mode;       ///< "streaming" | "materializing" | "parallel"
   std::string path;       ///< "indexed" | "scan"
   unsigned threads = 1;   ///< degree of parallelism (1 for the serial modes)
+  uint64_t budget = 0;    ///< memory_budget_bytes (0 = unlimited)
   double seconds = 0;
-  nal::EvalStats stats;
+  nal::EvalStats stats;   ///< stats.spill reports the budgeted runs' spilling
 };
 
 /// Queues `record` for WriteBenchResults().
@@ -55,6 +57,12 @@ void WriteBenchResults(const char* path = "BENCH_results.json");
 /// measurement (with EvalStats from one run each) under experiment `bench`,
 /// and returns the streaming+indexed seconds (the engine default) — a
 /// drop-in replacement for TimePlan in the table loops.
+///
+/// Additionally sweeps memory_budget_bytes ∈ {64 MB, 8 MB, 1 MB} over the
+/// budget-aware executors (streaming, and parallel at threads {1, 4}),
+/// recording the budget and the SpillStats counters with each record so
+/// the spill activity of the memory-bounded runs lands in
+/// BENCH_results.json next to their timings.
 double TimePlanRecorded(const engine::Engine& engine,
                         const nal::AlgebraPtr& plan, const std::string& bench,
                         const std::string& plan_label,

@@ -2,6 +2,7 @@
 
 #include "nal/cursor.h"
 #include "nal/exchange.h"
+#include "nal/spool.h"
 #include "xml/parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -41,18 +42,26 @@ CompiledQuery Engine::Compile(std::string_view query_text) const {
 }
 
 RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
-                      PathMode path_mode, unsigned threads) const {
+                      PathMode path_mode, unsigned threads,
+                      uint64_t memory_budget_bytes) const {
   nal::Evaluator evaluator(store_);
   evaluator.set_path_mode(path_mode == PathMode::kIndexed
                               ? xml::PathEvalMode::kIndexed
                               : xml::PathEvalMode::kScan);
   switch (mode) {
-    case ExecMode::kStreaming:
-      nal::DrainStreaming(evaluator, *plan);
+    case ExecMode::kStreaming: {
+      if (memory_budget_bytes != 0) {
+        nal::SpoolContext spool(memory_budget_bytes);
+        nal::DrainStreaming(evaluator, *plan, nullptr, &spool);
+      } else {
+        nal::DrainStreaming(evaluator, *plan);  // env default may apply
+      }
       break;
+    }
     case ExecMode::kParallel: {
       nal::ParallelOptions options;
       options.threads = threads;
+      options.memory_budget_bytes = memory_budget_bytes;
       nal::DrainParallel(evaluator, *plan, options);
       break;
     }
@@ -67,9 +76,10 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
 }
 
 RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
-                           PathMode path_mode, unsigned threads) const {
+                           PathMode path_mode, unsigned threads,
+                           uint64_t memory_budget_bytes) const {
   CompiledQuery q = Compile(query_text);
-  return Run(q.best.plan, mode, path_mode, threads);
+  return Run(q.best.plan, mode, path_mode, threads, memory_budget_bytes);
 }
 
 }  // namespace nalq::engine

@@ -81,16 +81,32 @@ class Engine {
   /// `threads` is the degree of parallelism under ExecMode::kParallel
   /// (0 = one worker per hardware core) and ignored by the serial modes;
   /// output and stats are independent of the worker count.
+  ///
+  /// `memory_budget_bytes` bounds what the executor's pipeline breakers
+  /// keep resident (nal/spool.h): hash build sides grace-partition to temp
+  /// files and Sort/Γ fall back to external merge sort once the budget is
+  /// exhausted, with byte-identical output and identical non-spill stats at
+  /// any budget (EvalStats::spill reports the spilling itself). 0 means
+  /// unlimited unless the NALQ_MEMORY_BUDGET_BYTES environment variable
+  /// supplies a default. The budget applies to the streaming and parallel
+  /// executors; the materializing evaluator (a differential reference)
+  /// ignores it, as do the RAM-resident exceptions documented in
+  /// src/nal/README.md (CSE caches, XiGroup group construction, and ΠD's
+  /// distinct-key set). Under kParallel one shared accountant bounds the
+  /// consumer and all workers, and the worker count is clamped so
+  /// uncharged per-worker state cannot over-commit it (nal/exchange.h).
   RunResult Run(const nal::AlgebraPtr& plan,
                 ExecMode mode = ExecMode::kStreaming,
                 PathMode path_mode = PathMode::kIndexed,
-                unsigned threads = 0) const;
+                unsigned threads = 0,
+                uint64_t memory_budget_bytes = 0) const;
 
   /// Convenience: compile with unnesting and run the best plan.
   RunResult RunQuery(std::string_view query_text,
                      ExecMode mode = ExecMode::kStreaming,
                      PathMode path_mode = PathMode::kIndexed,
-                     unsigned threads = 0) const;
+                     unsigned threads = 0,
+                     uint64_t memory_budget_bytes = 0) const;
 
  private:
   xml::Store store_;

@@ -1,6 +1,7 @@
 #include "nal/cursor.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 
 #include "nal/analysis.h"
 #include "nal/physical.h"
+#include "nal/spool.h"
 
 namespace nalq::nal {
 
@@ -155,13 +157,28 @@ class BufferCursor final : public Cursor {
 /// build the right (hash) side in Open and pull the left lazily afterwards.
 /// That flip is observable only when BOTH subtrees write to the Ξ output
 /// stream, in which case the left is buffered up front (its Open precedes
-/// the right-side build) to restore the evaluator's write order.
+/// the right-side build) to restore the evaluator's write order. Under a
+/// finite memory budget the buffer is spool-backed (nal/spool.h) so the
+/// pinned stream can exceed RAM.
 CursorPtr MakeLeftCursor(const AlgebraOp& op, ExecContext& ctx) {
   CursorPtr left = MakeCursor(*op.child(0), ctx);
   if (ContainsXi(*op.child(0)) && ContainsXi(*op.child(1))) {
+    if (SpillEnabled(ctx)) {
+      return MakeSpoolBufferCursor(ctx, std::move(left));
+    }
     return std::make_unique<BufferCursor>(ctx, std::move(left));
   }
   return left;
+}
+
+/// True when `op`'s cursor should be the spill-aware variant from
+/// nal/spool.h: the run carries a finite budget and the operator's own
+/// subscripts are Ξ-free. A Ξ hidden in a subscript (never produced by the
+/// translator, but expressible) pins the exact interleaving of subscript
+/// evaluation with input pulls, which the spill cursors' deferred
+/// evaluation would reorder — such nodes keep the plain in-memory breaker.
+bool UseSpillCursor(const AlgebraOp& op, ExecContext& ctx) {
+  return SpillEnabled(ctx) && !SubscriptsContainXi(op);
 }
 
 // ---------------------------------------------------------------------------
@@ -417,6 +434,12 @@ class UnnestCursor final : public Cursor {
 
 // ---------------------------------------------------------------------------
 // Join cursors (right side materialized = hash build side; left side streams)
+//
+// MIRROR CONTRACT: the spill-aware SpillJoinCursor / SpillGroupUnaryCursor
+// (spool.cpp) replicate these cursors' probe loops verbatim for their
+// fits-in-memory mode. A semantic change to a join/Γ cursor here MUST be
+// mirrored there, or budgeted-but-fitting runs silently diverge from the
+// unlimited executor (tests/spool_test.cpp asserts the identity).
 // ---------------------------------------------------------------------------
 
 /// Shared helper: materializes the right operand and, when the predicate has
@@ -844,14 +867,17 @@ class SortCursor final : public Cursor {
 
 class XiSimpleCursor final : public Cursor {
  public:
-  XiSimpleCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input)
+  /// `buffer_input` — a Ξ below us would interleave its output writes with
+  /// ours under tuple-at-a-time pulls; buffering our input restores the
+  /// materializing evaluator's "child first, then us" write order. Under a
+  /// memory budget, MakeOpCursor passes false and pre-wraps the input in a
+  /// spool-backed buffer instead.
+  XiSimpleCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input,
+                 bool buffer_input)
       : op_(op),
         ctx_(ctx),
         input_(std::move(input)),
-        // A Ξ below us would interleave its output writes with ours under
-        // tuple-at-a-time pulls; buffering our input restores the
-        // materializing evaluator's "child first, then us" write order.
-        buffer_input_(ContainsXi(*op.child(0))) {}
+        buffer_input_(buffer_input) {}
   void Open() override {
     if (buffer_input_) {
       input_seq_ = Materialize(*input_);
@@ -1005,27 +1031,58 @@ CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx) {
                                             MakeCursor(*op.child(0), ctx));
     case OpKind::kCross:
     case OpKind::kJoin:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillJoinCursor(op, ctx, MakeLeftCursor(op, ctx),
+                                   MakeCursor(*op.child(1), ctx));
+      }
       return std::make_unique<CrossJoinCursor>(
           op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
     case OpKind::kSemiJoin:
     case OpKind::kAntiJoin:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillJoinCursor(op, ctx, MakeLeftCursor(op, ctx),
+                                   MakeCursor(*op.child(1), ctx));
+      }
       return std::make_unique<SemiAntiJoinCursor>(
           op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
     case OpKind::kOuterJoin:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillJoinCursor(op, ctx, MakeLeftCursor(op, ctx),
+                                   MakeCursor(*op.child(1), ctx));
+      }
       return std::make_unique<OuterJoinCursor>(
           op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
     case OpKind::kGroupUnary:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillGroupUnaryCursor(op, ctx,
+                                         MakeCursor(*op.child(0), ctx));
+      }
       return std::make_unique<GroupUnaryCursor>(op, ctx,
                                                 MakeCursor(*op.child(0), ctx));
     case OpKind::kGroupBinary:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillJoinCursor(op, ctx, MakeLeftCursor(op, ctx),
+                                   MakeCursor(*op.child(1), ctx));
+      }
       return std::make_unique<GroupBinaryCursor>(
           op, ctx, MakeLeftCursor(op, ctx), MakeCursor(*op.child(1), ctx));
     case OpKind::kSort:
+      if (UseSpillCursor(op, ctx)) {
+        return MakeSpillSortCursor(op, ctx, MakeCursor(*op.child(0), ctx));
+      }
       return std::make_unique<SortCursor>(op, ctx,
                                           MakeCursor(*op.child(0), ctx));
-    case OpKind::kXiSimple:
-      return std::make_unique<XiSimpleCursor>(op, ctx,
-                                              MakeCursor(*op.child(0), ctx));
+    case OpKind::kXiSimple: {
+      CursorPtr input = MakeCursor(*op.child(0), ctx);
+      bool buffer_input = ContainsXi(*op.child(0));
+      if (buffer_input && SpillEnabled(ctx)) {
+        // Spool-backed order pinning: same write order, bounded memory.
+        input = MakeSpoolBufferCursor(ctx, std::move(input));
+        buffer_input = false;
+      }
+      return std::make_unique<XiSimpleCursor>(op, ctx, std::move(input),
+                                              buffer_input);
+    }
     case OpKind::kXiGroup:
       return std::make_unique<XiGroupCursor>(op, ctx,
                                              MakeCursor(*op.child(0), ctx));
@@ -1090,12 +1147,30 @@ CursorPtr MakeCursorOver(const AlgebraOp& op, ExecContext& ctx,
   }
 }
 
+namespace {
+
+/// Env-default spool for runs that did not pass one explicitly: a local
+/// SpoolContext carrying NALQ_MEMORY_BUDGET_BYTES. Construction is cheap
+/// (no filesystem work until the first spill), so paying it per run keeps
+/// temp-file lifetime tied to the run.
+std::optional<SpoolContext> MakeEnvSpool(SpoolContext* explicit_spool) {
+  if (explicit_spool != nullptr) return std::nullopt;
+  uint64_t budget = SpoolContext::EnvBudgetBytes();
+  if (budget == 0) return std::nullopt;
+  return std::optional<SpoolContext>(std::in_place, budget);
+}
+
+}  // namespace
+
 uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
-                        StreamStats* stream) {
+                        StreamStats* stream, SpoolContext* spool) {
   xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
+  std::optional<SpoolContext> env_spool = MakeEnvSpool(spool);
+  if (env_spool.has_value()) spool = &*env_spool;
   Tuple env;
-  ExecContext ctx{&ev, &env, stream};
+  ExecContext ctx{&ev, &env, stream,
+                  spool != nullptr && spool->enabled() ? spool : nullptr};
   CursorPtr root = MakeCursor(op, ctx);
   uint64_t count = 0;
   Tuple t;
@@ -1106,11 +1181,14 @@ uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
 }
 
 Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
-                          StreamStats* stream) {
+                          StreamStats* stream, SpoolContext* spool) {
   xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
+  std::optional<SpoolContext> env_spool = MakeEnvSpool(spool);
+  if (env_spool.has_value()) spool = &*env_spool;
   Tuple env;
-  ExecContext ctx{&ev, &env, stream};
+  ExecContext ctx{&ev, &env, stream,
+                  spool != nullptr && spool->enabled() ? spool : nullptr};
   CursorPtr root = MakeCursor(op, ctx);
   Sequence out;
   Tuple t;

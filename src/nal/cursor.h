@@ -40,6 +40,8 @@
 
 namespace nalq::nal {
 
+class SpoolContext;  // memory-bounded execution (nal/spool.h)
+
 /// Streaming-executor bookkeeping, independent of EvalStats (which must stay
 /// byte-identical across executors). Tracks how much the pipeline buffers so
 /// tests can assert that pipelineable plans never materialize an
@@ -93,6 +95,13 @@ struct ExecContext {
   const Tuple* env = nullptr;
   StreamStats* stream = nullptr;  ///< optional
 
+  /// Memory-bounded execution (nal/spool.h): when set and carrying a finite
+  /// budget, the pipeline breakers buffer through the spool layer — grace
+  /// partitioning for hash builds, external merge sort for Sort/Γ — instead
+  /// of materializing fully in RAM. Null or unlimited preserves the plain
+  /// in-memory breakers bit for bit.
+  SpoolContext* spool = nullptr;
+
   /// Exchange injection point (exchange.h): when MakeCursor reaches the
   /// plan node `exchange_op`, it returns make_exchange(ctx) — the exchange
   /// cursor spanning that node's partitionable segment — instead of the
@@ -121,13 +130,20 @@ CursorPtr MakeCursorOver(const AlgebraOp& op, ExecContext& ctx,
 /// Pull-runs `op` to exhaustion, discarding root tuples (Ξ side effects
 /// accumulate on the evaluator's output stream). Clears the CSE cache first,
 /// mirroring Evaluator::Eval. Returns the number of root tuples.
+///
+/// `spool` opts the run into memory-bounded execution (nal/spool.h). When
+/// null, the NALQ_MEMORY_BUDGET_BYTES environment variable — read once per
+/// process — supplies a default budget, so existing differential suites can
+/// be re-run with spilling active without code changes.
 uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
-                        StreamStats* stream = nullptr);
+                        StreamStats* stream = nullptr,
+                        SpoolContext* spool = nullptr);
 
 /// Pull-runs `op` and collects the root output — the streaming counterpart
 /// of Evaluator::Eval, used by the differential tests.
 Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
-                          StreamStats* stream = nullptr);
+                          StreamStats* stream = nullptr,
+                          SpoolContext* spool = nullptr);
 
 }  // namespace nalq::nal
 

@@ -18,6 +18,33 @@
 
 namespace nalq::nal {
 
+/// Counters for the memory-bounded execution layer (nal/spool.h). Unlike
+/// every other EvalStats field these are NOT part of the executors'
+/// determinism contract: a budgeted run spills, an unlimited run does not,
+/// and the differential suites compare "non-spill" stats only while
+/// asserting on these separately (tests/spool_test.cpp).
+struct SpillStats {
+  uint64_t spilled_bytes = 0;  ///< bytes written to spool temp files
+  uint64_t spill_runs = 0;     ///< sorted runs / partition files written
+  uint64_t repartitions = 0;   ///< recursive grace re-partition steps
+  uint64_t merge_passes = 0;   ///< extra external-sort merge passes (fan-in)
+
+  /// Saturating merge (see xml::SaturatingAdd), used when the parallel
+  /// executor folds per-worker spill counters into the main evaluator.
+  SpillStats& operator+=(const SpillStats& other) {
+    spilled_bytes = xml::SaturatingAdd(spilled_bytes, other.spilled_bytes);
+    spill_runs = xml::SaturatingAdd(spill_runs, other.spill_runs);
+    repartitions = xml::SaturatingAdd(repartitions, other.repartitions);
+    merge_passes = xml::SaturatingAdd(merge_passes, other.merge_passes);
+    return *this;
+  }
+
+  bool any() const {
+    return spilled_bytes != 0 || spill_runs != 0 || repartitions != 0 ||
+           merge_passes != 0;
+  }
+};
+
 /// Counters accumulated during evaluation.
 struct EvalStats {
   uint64_t nested_alg_evals = 0;  ///< nested algebra subscript evaluations
@@ -25,6 +52,7 @@ struct EvalStats {
   uint64_t tuples_produced = 0;   ///< tuples emitted by all operators
   uint64_t predicate_evals = 0;
   xml::XPathStats xpath;
+  SpillStats spill;  ///< memory-bounded execution only; zero when unlimited
 
   void Reset() { *this = EvalStats(); }
 
@@ -41,6 +69,7 @@ struct EvalStats {
     predicate_evals =
         xml::SaturatingAdd(predicate_evals, other.predicate_evals);
     xpath += other.xpath;
+    spill += other.spill;
     return *this;
   }
 };

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "nal/scheduler.h"
+#include "nal/spool.h"
 
 namespace nalq::nal {
 
@@ -20,6 +21,22 @@ unsigned ResolveThreads(unsigned requested) {
   if (requested != 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+/// Budget-aware degree of parallelism. Workers share the run's accountant
+/// for anything they would buffer, but each worker also carries in-flight
+/// state the accountant never sees — its dispatch-window chunk and result
+/// packet. Clamping the worker count to budget / kMinWorkerBudgetBytes
+/// keeps that uncharged per-worker footprint proportional to the budget,
+/// so a high `threads` request cannot over-commit it.
+unsigned ResolveBudgetedThreads(unsigned requested, uint64_t budget_bytes) {
+  unsigned dop = ResolveThreads(requested);
+  if (budget_bytes != 0) {
+    uint64_t cap = budget_bytes / kMinWorkerBudgetBytes;
+    if (cap == 0) cap = 1;
+    if (dop > cap) dop = static_cast<unsigned>(cap);
+  }
+  return dop;
 }
 
 bool IsExpanding(const AlgebraOp& op) {
@@ -55,13 +72,17 @@ class PartitionCursor final : public Cursor {
 /// One worker's clone of the partitionable segment: a private Evaluator
 /// (own EvalStats, own scratch caches, same store and path mode) driving a
 /// private cursor chain over the shared plan nodes. Heap-allocated and
-/// never moved, because ctx points into the object.
+/// never moved, because ctx points into the object. Under a memory budget
+/// the worker also carries a private SpoolContext — its own temp-file
+/// directory (spool files stay worker-private) sharing the run's global
+/// MemoryBudget accountant.
 struct WorkerPipeline {
   std::unique_ptr<Evaluator> ev;
   Tuple env;  ///< the top-level empty outer binding
   ExecContext ctx;
   PartitionCursor* leaf = nullptr;  ///< borrowed from `pipeline`
   CursorPtr pipeline;
+  std::unique_ptr<SpoolContext> spool;
 };
 
 /// State shared between the consumer thread and the chunk tasks. Owned by a
@@ -132,14 +153,28 @@ class MergeCursor final : public Cursor {
   ~MergeCursor() override { WaitForTasks(); }
 
   void Open() override {
-    dop_ = ResolveThreads(options_.threads);
+    dop_ = ResolveBudgetedThreads(options_.threads,
+                                  options_.memory_budget_bytes);
     Scheduler::Global().EnsureThreads(dop_);
     state_ = std::make_shared<ExchangeState>();
     for (unsigned w = 0; w < dop_; ++w) {
       auto wp = std::make_unique<WorkerPipeline>();
       wp->ev = std::make_unique<Evaluator>(ctx_.ev->store());
       wp->ev->set_path_mode(ctx_.ev->path_mode());
-      wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr};
+      // Workers reserve against the SAME accountant as the consumer (the
+      // MemoryBudget is thread-safe), so one limit bounds the whole run —
+      // the consumer pipeline, which runs every breaker, is not throttled
+      // to a fraction of it. Worker spool files stay worker-private via a
+      // per-worker directory. (Today a worker segment holds only
+      // per-tuple operators — IsPartitionableOp — so worker charges are
+      // theoretical until segments ever gain stateful operators.)
+      if (ctx_.spool != nullptr) {
+        wp->spool = std::make_unique<SpoolContext>(ctx_.spool->budget());
+      }
+      wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr,
+                            wp->spool != nullptr && wp->spool->enabled()
+                                ? wp->spool.get()
+                                : nullptr};
       auto leaf = std::make_unique<PartitionCursor>();
       wp->leaf = leaf.get();
       CursorPtr chain = std::move(leaf);
@@ -400,13 +435,31 @@ uint64_t RunParallel(Evaluator& ev, const AlgebraOp& op,
   std::optional<PartitionPoint> point = FindPartitionPoint(op);
   xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
+  // Budget resolution mirrors DrainStreaming: an explicit option wins, the
+  // NALQ_MEMORY_BUDGET_BYTES environment default applies otherwise. One
+  // accountant carries the whole limit; the exchange's worker contexts
+  // share it (MergeCursor::Open), so the consumer pipeline — which runs
+  // every pipeline breaker — sees the full budget while the global bound
+  // still holds across every participant.
+  ParallelOptions eff = options;
+  if (eff.memory_budget_bytes == 0) {
+    eff.memory_budget_bytes = SpoolContext::EnvBudgetBytes();
+  }
+  std::optional<SpoolContext> consumer_spool;
+  if (eff.memory_budget_bytes != 0) {
+    eff.threads = ResolveBudgetedThreads(eff.threads, eff.memory_budget_bytes);
+    consumer_spool.emplace(eff.memory_budget_bytes);
+  }
   Tuple env;
-  ExecContext ctx{&ev, &env, stream};
+  ExecContext ctx{&ev, &env, stream,
+                  consumer_spool.has_value() && consumer_spool->enabled()
+                      ? &*consumer_spool
+                      : nullptr};
   if (point.has_value()) {
     ctx.exchange_op = point->top;
     const PartitionPoint* pp = &*point;
-    ctx.make_exchange = [pp, &options](ExecContext& c) -> CursorPtr {
-      return std::make_unique<MergeCursor>(*pp, c, options);
+    ctx.make_exchange = [pp, &eff](ExecContext& c) -> CursorPtr {
+      return std::make_unique<MergeCursor>(*pp, c, eff);
     };
   }
   CursorPtr root = MakeCursor(op, ctx);

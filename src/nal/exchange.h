@@ -54,7 +54,24 @@ struct ParallelOptions {
   PartitionStrategy strategy = PartitionStrategy::kRoundRobin;
   /// Morsel size for round-robin partitioning.
   uint32_t chunk_tuples = 64;
+  /// Memory budget for the whole parallel run (0 = unlimited, falling back
+  /// to NALQ_MEMORY_BUDGET_BYTES like the serial entry points). One
+  /// MemoryBudget accountant carries the limit for every participant: the
+  /// consumer pipeline (which runs every pipeline breaker) and all worker
+  /// pipelines reserve against it, so the global bound holds without
+  /// throttling the breakers to a fraction of it. Worker spool files live
+  /// in worker-private directories, and the effective degree of
+  /// parallelism is clamped (see kMinWorkerBudgetBytes) so a high thread
+  /// count cannot over-commit the budget through per-worker in-flight
+  /// state.
+  uint64_t memory_budget_bytes = 0;
 };
+
+/// Per-worker footprint the budget accountant cannot see — the dispatch-
+/// window chunk and result packet in flight on each worker. The effective
+/// worker count is clamped to budget / this (minimum one), keeping that
+/// uncharged memory proportional to the budget.
+inline constexpr uint64_t kMinWorkerBudgetBytes = 256 * 1024;
 
 /// A chosen cut of the plan: `segment` (top-down, segment.front() == top)
 /// is the run of partitionable operators every worker clones; `source` is
@@ -74,8 +91,9 @@ std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root);
 
 /// Pull-runs `op` with the partitionable segment executed in parallel,
 /// discarding root tuples — the parallel counterpart of DrainStreaming.
-/// Byte-identical output and identical (merged) EvalStats at any `threads`.
-/// Falls back to serial streaming when no partition point exists.
+/// Byte-identical output and identical (merged) EvalStats at any `threads`
+/// and any memory budget. Falls back to serial streaming when no partition
+/// point exists.
 uint64_t DrainParallel(Evaluator& ev, const AlgebraOp& op,
                        const ParallelOptions& options = {},
                        StreamStats* stream = nullptr);

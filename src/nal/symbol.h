@@ -34,6 +34,16 @@ class Symbol {
   /// the new attributes (g, a2', ...) the equivalences introduce.
   static Symbol Fresh(std::string_view base);
 
+  /// Rebuilds a symbol from its interned id. Ids are stable for the process
+  /// lifetime, which is exactly the lifetime of the spool temp files that
+  /// persist them (nal/spool.h) — a spool file is never read by another
+  /// process.
+  static Symbol FromId(uint32_t id) {
+    Symbol s;
+    s.id_ = id;
+    return s;
+  }
+
  private:
   uint32_t id_ = 0;
 };

@@ -1,7 +1,8 @@
 // Unit tests for the overflow-safe statistics merge helpers
-// (EvalStats::operator+= in nal/eval.h, XPathStats::operator+= and
-// SaturatingAdd in xml/xpath.h) — the merge path the parallel executor uses
-// to fold per-worker counters into the main evaluator.
+// (EvalStats::operator+= and SpillStats::operator+= in nal/eval.h,
+// XPathStats::operator+= and SaturatingAdd in xml/xpath.h) — the merge path
+// the parallel executor uses to fold per-worker counters into the main
+// evaluator.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -62,6 +63,63 @@ TEST(StatsMergeTest, EvalStatsMergeSumsEveryCounterIncludingXPath) {
   EXPECT_EQ(a.tuples_produced, 303u);
   EXPECT_EQ(a.predicate_evals, 404u);
   EXPECT_EQ(a.xpath.steps_evaluated, 505u);
+}
+
+TEST(StatsMergeTest, SpillStatsMergeSumsEveryCounter) {
+  SpillStats a;
+  a.spilled_bytes = 1;
+  a.spill_runs = 2;
+  a.repartitions = 3;
+  a.merge_passes = 4;
+  SpillStats b;
+  b.spilled_bytes = 10;
+  b.spill_runs = 20;
+  b.repartitions = 30;
+  b.merge_passes = 40;
+  a += b;
+  EXPECT_EQ(a.spilled_bytes, 11u);
+  EXPECT_EQ(a.spill_runs, 22u);
+  EXPECT_EQ(a.repartitions, 33u);
+  EXPECT_EQ(a.merge_passes, 44u);
+  EXPECT_TRUE(a.any());
+  EXPECT_FALSE(SpillStats().any());
+}
+
+TEST(StatsMergeTest, SpillStatsMergeSaturatesInsteadOfWrapping) {
+  SpillStats a;
+  a.spilled_bytes = UINT64_MAX - 5;
+  a.spill_runs = UINT64_MAX;
+  SpillStats b;
+  b.spilled_bytes = 100;
+  b.spill_runs = 1;
+  b.merge_passes = UINT64_MAX;
+  a += b;
+  EXPECT_EQ(a.spilled_bytes, UINT64_MAX);
+  EXPECT_EQ(a.spill_runs, UINT64_MAX);
+  EXPECT_EQ(a.merge_passes, UINT64_MAX);
+}
+
+TEST(StatsMergeTest, EvalStatsMergeCarriesSpillAcrossParallelWorkers) {
+  // The parallel executor folds each worker's EvalStats into the main
+  // evaluator's; spill counters ride along so a budgeted parallel run
+  // reports its total spilling regardless of which worker did it.
+  EvalStats main_stats;
+  main_stats.spill.spill_runs = 3;
+  main_stats.spill.spilled_bytes = 1000;
+  EvalStats worker1;
+  worker1.tuples_produced = 7;
+  worker1.spill.spill_runs = 2;
+  worker1.spill.spilled_bytes = 500;
+  worker1.spill.repartitions = 1;
+  EvalStats worker2;
+  worker2.spill.merge_passes = 4;
+  main_stats += worker1;
+  main_stats += worker2;
+  EXPECT_EQ(main_stats.tuples_produced, 7u);
+  EXPECT_EQ(main_stats.spill.spill_runs, 5u);
+  EXPECT_EQ(main_stats.spill.spilled_bytes, 1500u);
+  EXPECT_EQ(main_stats.spill.repartitions, 1u);
+  EXPECT_EQ(main_stats.spill.merge_passes, 4u);
 }
 
 TEST(StatsMergeTest, MergeNearOverflowSaturatesInsteadOfWrapping) {

@@ -11,6 +11,7 @@
 #include "engine/engine.h"
 #include "nal/cursor.h"
 #include "nal/eval.h"
+#include "nal/spool.h"
 #include "test_util.h"
 #include "xml/store.h"
 
@@ -442,7 +443,11 @@ TEST(StreamingPeakTest, SortIsAPipelineBreaker) {
 
   Evaluator ev(store);
   StreamStats stream;
-  uint64_t produced = DrainStreaming(ev, *plan, &stream);
+  // The peak numbers below are the *unlimited* in-memory breaker contract;
+  // pin an unlimited spool so an NALQ_MEMORY_BUDGET_BYTES run (CI's
+  // tiny-budget job) doesn't legitimately spill them to disk.
+  SpoolContext unlimited(0);
+  uint64_t produced = DrainStreaming(ev, *plan, &stream, &unlimited);
   EXPECT_EQ(produced, kRows);
   // Sort buffers exactly its input, and releases it on Close.
   EXPECT_EQ(stream.peak_buffered, kRows);
@@ -462,7 +467,8 @@ TEST(StreamingPeakTest, JoinBuffersOnlyBuildSide) {
 
   Evaluator ev(store);
   StreamStats stream;
-  DrainStreaming(ev, *plan, &stream);
+  SpoolContext unlimited(0);  // see SortIsAPipelineBreaker
+  DrainStreaming(ev, *plan, &stream, &unlimited);
   // Only the hash build side (right input) is ever resident; the probe side
   // streams through no matter how large it is.
   EXPECT_EQ(stream.peak_buffered, kRight);
