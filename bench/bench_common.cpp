@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
+
+#include "rewrite/unnester.h"
 
 namespace nalq::bench {
 
@@ -92,7 +95,14 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"spilled_bytes\":" << r.stats.spill.spilled_bytes
       << ",\"spill_runs\":" << r.stats.spill.spill_runs
       << ",\"repartitions\":" << r.stats.spill.repartitions
-      << ",\"merge_passes\":" << r.stats.spill.merge_passes
+      << ",\"merge_passes\":" << r.stats.spill.merge_passes;
+  char est[64];
+  std::snprintf(est, sizeof(est), "%.3f", r.est_cost);
+  out << ",\"est_cost\":" << est;
+  std::snprintf(est, sizeof(est), "%.3f", r.est_rows);
+  out << ",\"est_rows\":" << est
+      << ",\"chosen_by_cost\":" << r.chosen_by_cost
+      << ",\"chosen_by_priority\":" << r.chosen_by_priority
       << "}";
   return out.str();
 }
@@ -224,6 +234,38 @@ double TimePlanRecorded(const engine::Engine& engine,
     }
   }
   return default_seconds;
+}
+
+void RecordPlanEstimates(const engine::CompiledQuery& q,
+                         const std::string& bench, const std::string& size) {
+  if (q.alternatives.size() != q.estimates.size()) return;
+  // Bench loops recompile the same query per plan/parameter; one estimate
+  // record set per (experiment, size) is enough.
+  static std::set<std::string> recorded;
+  if (!recorded.insert(bench + "/" + size).second) return;
+  // The priority policy's winner among the enumerated alternatives (the
+  // paper's most-restrictive-rule ranking; for the single-block paper
+  // benches this is exactly Unnester::Best).
+  size_t priority_choice = 0;
+  for (size_t i = 1; i < q.alternatives.size(); ++i) {
+    if (rewrite::RulePriority(q.alternatives[i].rule) <
+        rewrite::RulePriority(q.alternatives[priority_choice].rule)) {
+      priority_choice = i;
+    }
+  }
+  for (size_t i = 0; i < q.alternatives.size(); ++i) {
+    BenchRecord r;
+    r.bench = bench;
+    r.plan = q.alternatives[i].rule;
+    r.size = size;
+    r.mode = "estimate";
+    r.path = "indexed";
+    r.est_cost = q.estimates[i].total_cost();
+    r.est_rows = q.estimates[i].rows;
+    r.chosen_by_cost = i == q.cost_choice ? 1 : 0;
+    r.chosen_by_priority = i == priority_choice ? 1 : 0;
+    RecordBench(std::move(r));
+  }
 }
 
 std::string FormatSeconds(double s) {

@@ -36,11 +36,21 @@ struct BenchRecord {
   std::string parameter;  ///< table parameter, e.g. authors/book; may be empty
   std::string size;       ///< problem size, e.g. books
   std::string mode;       ///< "streaming" | "materializing" | "parallel"
+                          ///< | "estimate" (optimizer record, not a timing)
   std::string path;       ///< "indexed" | "scan"
   unsigned threads = 1;   ///< degree of parallelism (1 for the serial modes)
   uint64_t budget = 0;    ///< memory_budget_bytes (0 = unlimited)
   double seconds = 0;
   nal::EvalStats stats;   ///< stats.spill reports the budgeted runs' spilling
+
+  // Optimizer fields, set on mode == "estimate" records (-1 otherwise):
+  // the cost model's view of the plan named by `plan` (here the rewrite
+  // rule), plus which policy picked it, so estimated-vs-measured accuracy
+  // is computable from BENCH_results.json alone.
+  double est_cost = -1;        ///< total estimated cost units
+  double est_rows = -1;        ///< estimated output rows
+  int chosen_by_cost = -1;     ///< 1 = PlanChoice::kCost picked this plan
+  int chosen_by_priority = -1; ///< 1 = rule-priority ranking would pick it
 };
 
 /// Queues `record` for WriteBenchResults().
@@ -68,6 +78,15 @@ double TimePlanRecorded(const engine::Engine& engine,
                         const std::string& plan_label,
                         const std::string& parameter, const std::string& size,
                         int repeats = 3);
+
+/// Records the optimizer's view of one compiled query under experiment
+/// `bench`: one mode="estimate" record per alternative, carrying the rule
+/// name as the plan label, est_cost/est_rows from CompiledQuery::estimates
+/// and the two choice flags — so BENCH_results.json reports
+/// estimated-vs-measured accuracy and whether cost-based choice picks the
+/// empirically fastest alternative (see EXPERIMENTS.md PR 5 notes).
+void RecordPlanEstimates(const engine::CompiledQuery& q,
+                         const std::string& bench, const std::string& size);
 
 /// Formats seconds the way the paper's tables do ("0.08 s", "7.04 s").
 std::string FormatSeconds(double s);

@@ -55,12 +55,18 @@ int main(int argc, char** argv) {
                 q.normalized->ToString().c_str());
     std::printf("\n--- nested plan (Fig. 3 translation) --------------\n%s",
                 nal::PrintPlan(*q.nested_plan).c_str());
-    for (const rewrite::Alternative& alt : q.alternatives) {
+    for (size_t i = 0; i < q.alternatives.size(); ++i) {
+      const rewrite::Alternative& alt = q.alternatives[i];
       if (alt.rule == "nested") continue;
       std::printf("\n--- alternative: %s\n%s", alt.rule.c_str(),
                   nal::PrintPlan(*alt.plan).c_str());
+      if (i < q.estimates.size()) {
+        std::printf("    estimate: cost %.1f, rows %.1f%s\n",
+                    q.estimates[i].total_cost(), q.estimates[i].rows,
+                    i == q.cost_choice ? "  <- cost choice" : "");
+      }
     }
-    std::printf("\n--- chosen: %s --------------------------------\n",
+    std::printf("\n--- chosen (cost-based, opt/chooser.h): %s ----------\n",
                 q.best.rule.c_str());
     engine::RunResult r = engine.Run(q.best.plan);
     std::printf("%s\n", r.output.c_str());

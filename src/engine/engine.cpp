@@ -3,6 +3,7 @@
 #include "nal/cursor.h"
 #include "nal/exchange.h"
 #include "nal/spool.h"
+#include "opt/chooser.h"
 #include "xml/parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -30,14 +31,39 @@ void Engine::RegisterDtd(const std::string& name, std::string_view dtd_text) {
   dtds_.Register(name, xml::Dtd::Parse(dtd_text));
 }
 
-CompiledQuery Engine::Compile(std::string_view query_text) const {
+CompiledQuery Engine::Compile(std::string_view query_text, PlanChoice choice,
+                              uint64_t memory_budget_bytes) const {
   CompiledQuery out;
+  out.choice = choice;
   out.ast = xquery::ParseQuery(query_text);
   out.normalized = xquery::Normalize(out.ast);
   out.nested_plan = xquery::Translate(out.normalized, &dtds_);
   rewrite::Unnester unnester(&dtds_);
-  out.alternatives = unnester.Alternatives(out.nested_plan);
-  out.best = unnester.Best(out.nested_plan);
+  out.alternatives = unnester.AllAlternatives(out.nested_plan);
+  opt::ChooseOptions copts;
+  copts.memory_budget_bytes = memory_budget_bytes;
+  opt::Choice chosen;
+  {
+    // Estimation reads (and lazily builds) the store's index and
+    // statistics, so Compile participates in the single-writer contract
+    // exactly like an evaluation: loading documents concurrently with a
+    // compile is a misuse the lease makes detectable (xml/store.h).
+    xml::StoreReadLease lease(store_);
+    chosen = opt::ChoosePlan(store_, out.alternatives, copts);
+  }
+  out.estimates = std::move(chosen.estimates);
+  out.cost_choice = chosen.index;
+  switch (choice) {
+    case PlanChoice::kCost:
+      out.best = out.alternatives[out.cost_choice];
+      break;
+    case PlanChoice::kRulePriority:
+      out.best = unnester.Best(out.nested_plan);
+      break;
+    case PlanChoice::kManual:
+      out.best = out.alternatives.front();
+      break;
+  }
   return out;
 }
 
@@ -77,8 +103,15 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
 
 RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
                            PathMode path_mode, unsigned threads,
-                           uint64_t memory_budget_bytes) const {
-  CompiledQuery q = Compile(query_text);
+                           uint64_t memory_budget_bytes,
+                           PlanChoice choice) const {
+  // Resolve the budget the executors will actually run under so the plan
+  // choice sees it too (a build side that spills at run time should be
+  // charged for it at choice time).
+  uint64_t effective_budget = memory_budget_bytes != 0
+                                  ? memory_budget_bytes
+                                  : nal::SpoolContext::EnvBudgetBytes();
+  CompiledQuery q = Compile(query_text, choice, effective_budget);
   return Run(q.best.plan, mode, path_mode, threads, memory_budget_bytes);
 }
 

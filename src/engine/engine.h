@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nal/eval.h"
+#include "opt/cost.h"
 #include "rewrite/unnester.h"
 #include "xml/dtd.h"
 #include "xml/store.h"
@@ -15,15 +16,42 @@
 
 namespace nalq::engine {
 
+/// How Compile picks CompiledQuery::best among the unnesting alternatives.
+enum class PlanChoice {
+  /// Cost-based: every alternative is estimated against the store's
+  /// document statistics (opt/chooser.h) under the active memory budget and
+  /// the cheapest wins; ties fall back to the rule-priority ranking. The
+  /// default — the paper's "the most efficient plan should be chosen".
+  kCost,
+  /// The pre-optimizer static policy: the most restrictive applicable
+  /// equivalence by rule name (rewrite::RulePriority), iterated over all
+  /// nested blocks. Kept as the differential reference and for stores
+  /// without representative statistics.
+  kRulePriority,
+  /// No choice: best = the original nested plan; callers pick from
+  /// `alternatives` themselves (benchmarks, plan exploration).
+  kManual,
+};
+
 /// Compilation artifact: every stage's output plus all plan alternatives.
 struct CompiledQuery {
   xquery::AstPtr ast;
   xquery::AstPtr normalized;
   nal::AlgebraPtr nested_plan;
-  /// All alternatives, [0] = {"nested", nested_plan}.
+  /// All alternatives — the closure over every rewrite site
+  /// (Unnester::AllAlternatives), [0] = {"nested", nested_plan}.
   std::vector<rewrite::Alternative> alternatives;
-  /// The plan the engine would execute (best rule priority).
+  /// The plan Run/RunQuery would execute, per the requested PlanChoice.
   rewrite::Alternative best;
+
+  /// Optimizer estimate per alternative (same order as `alternatives`),
+  /// computed against the store statistics and the budget Compile saw.
+  std::vector<opt::PlanEstimate> estimates;
+  /// Index into `alternatives` of the cost-based winner (even when `best`
+  /// was selected by another policy — benchmarks compare the two).
+  size_t cost_choice = 0;
+  /// The policy that selected `best`.
+  PlanChoice choice = PlanChoice::kCost;
 
   /// Alternative whose rule name contains `rule_substring`, or nullptr.
   const rewrite::Alternative* Find(std::string_view rule_substring) const;
@@ -75,7 +103,20 @@ class Engine {
   void RegisterDtd(const std::string& name, std::string_view dtd_text);
 
   /// Full compilation pipeline. Throws on parse/translate errors.
-  CompiledQuery Compile(std::string_view query_text) const;
+  ///
+  /// Estimation reads the store's index and statistics, so Compile counts
+  /// as a reader under the single-writer contract (xml/store.h): do not
+  /// load or mutate documents concurrently with a compile.
+  ///
+  /// `choice` selects how CompiledQuery::best is picked (see PlanChoice);
+  /// `memory_budget_bytes` feeds the cost model so plan choice is
+  /// budget-aware — a plan whose hash build side would spill under the
+  /// budget is charged that I/O (0 = unlimited; the NALQ_MEMORY_BUDGET_BYTES
+  /// environment default is applied by RunQuery, not here). Estimates for
+  /// every alternative are recorded regardless of the policy.
+  CompiledQuery Compile(std::string_view query_text,
+                        PlanChoice choice = PlanChoice::kCost,
+                        uint64_t memory_budget_bytes = 0) const;
 
   /// Evaluates a plan, returning the constructed result and statistics.
   /// `threads` is the degree of parallelism under ExecMode::kParallel
@@ -101,12 +142,16 @@ class Engine {
                 unsigned threads = 0,
                 uint64_t memory_budget_bytes = 0) const;
 
-  /// Convenience: compile with unnesting and run the best plan.
+  /// Convenience: compile with unnesting and run the best plan. Plan choice
+  /// is cost-based (see PlanChoice::kCost) and budget-aware: the effective
+  /// budget — the argument, or the NALQ_MEMORY_BUDGET_BYTES environment
+  /// default when 0 — feeds the cost model before it gates the executor.
   RunResult RunQuery(std::string_view query_text,
                      ExecMode mode = ExecMode::kStreaming,
                      PathMode path_mode = PathMode::kIndexed,
                      unsigned threads = 0,
-                     uint64_t memory_budget_bytes = 0) const;
+                     uint64_t memory_budget_bytes = 0,
+                     PlanChoice choice = PlanChoice::kCost) const;
 
  private:
   xml::Store store_;

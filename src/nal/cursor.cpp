@@ -10,6 +10,7 @@
 
 #include "nal/analysis.h"
 #include "nal/physical.h"
+#include "nal/probe_loops.h"
 #include "nal/spool.h"
 
 namespace nalq::nal {
@@ -22,10 +23,9 @@ CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx);
 
 /// Counts one emitted tuple for the operator that owns `ctx` — the streaming
 /// equivalent of the materializing evaluator's per-node
-/// `stats_.tuples_produced += out.size()`.
-inline void CountProduced(ExecContext& ctx) {
-  ++ctx.ev->stats().tuples_produced;
-}
+/// `stats_.tuples_produced += out.size()`. One definition, shared with the
+/// spill cursors (nal/probe_loops.h).
+using probe::CountProducedTuple;
 
 /// Fully drains `c` into a Sequence (used by pipeline breakers; charged to
 /// StreamStats by the caller).
@@ -193,7 +193,7 @@ class SingletonCursor final : public Cursor {
     if (done_) return false;
     done_ = true;
     *out = Tuple();
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
   void Close() override {}
@@ -213,7 +213,7 @@ class SelectCursor final : public Cursor {
     while (input_->Next(&t)) {
       if (ctx_.ev->EvalPred(*op_.pred, t, *ctx_.env)) {
         *out = std::move(t);
-        CountProduced(ctx_);
+        CountProducedTuple(ctx_);
         return true;
       }
     }
@@ -262,7 +262,7 @@ class ProjectCursor final : public Cursor {
         }
       }
       *out = std::move(t);
-      CountProduced(ctx_);
+      CountProducedTuple(ctx_);
       return true;
     }
     return false;
@@ -287,7 +287,7 @@ class MapCursor final : public Cursor {
     Value v = ctx_.ev->EvalExpr(*op_.expr, t, *ctx_.env);
     t.Set(op_.attr, std::move(v));
     *out = std::move(t);
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
   void Close() override { input_->Close(); }
@@ -320,7 +320,7 @@ class UnnestMapCursor final : public Cursor {
           *out = std::move(extended);
         }
         ++pos_;
-        CountProduced(ctx_);
+        CountProducedTuple(ctx_);
         return true;
       }
       if (!input_->Next(&current_)) return false;
@@ -332,7 +332,7 @@ class UnnestMapCursor final : public Cursor {
         if (!op_.outer) continue;
         current_.Set(op_.attr, Value::Null());
         *out = std::move(current_);
-        CountProduced(ctx_);
+        CountProducedTuple(ctx_);
         return true;
       }
     }
@@ -368,7 +368,7 @@ class UnnestCursor final : public Cursor {
       if (nested_ != nullptr && pos_ < nested_->size()) {
         *out = base_.Concat((*nested_)[pos_]);
         ++pos_;
-        CountProduced(ctx_);
+        CountProducedTuple(ctx_);
         return true;
       }
       nested_ = nullptr;
@@ -407,7 +407,7 @@ class UnnestCursor final : public Cursor {
         if (op_.outer) {
           // Paper μ: emit ⊥_{A(e.g)}.
           *out = base_.Concat(Tuple::Nulls(bot_attrs_));
-          CountProduced(ctx_);
+          CountProducedTuple(ctx_);
           return true;
         }
       }
@@ -435,11 +435,11 @@ class UnnestCursor final : public Cursor {
 // ---------------------------------------------------------------------------
 // Join cursors (right side materialized = hash build side; left side streams)
 //
-// MIRROR CONTRACT: the spill-aware SpillJoinCursor / SpillGroupUnaryCursor
-// (spool.cpp) replicate these cursors' probe loops verbatim for their
-// fits-in-memory mode. A semantic change to a join/Γ cursor here MUST be
-// mirrored there, or budgeted-but-fitting runs silently diverge from the
-// unlimited executor (tests/spool_test.cpp asserts the identity).
+// The probe loops themselves live in nal/probe_loops.h, shared with the
+// spill-aware cursors' fits-in-memory mode (spool.cpp) — one implementation
+// instead of the former verbatim mirror, so budgeted-but-fitting runs match
+// the unlimited executor by construction (tests/spool_test.cpp still
+// asserts the identity differentially).
 // ---------------------------------------------------------------------------
 
 /// Shared helper: materializes the right operand and, when the predicate has
@@ -477,133 +477,78 @@ class JoinRightSide {
   bool released_ = false;
 };
 
-class CrossJoinCursor final : public Cursor {
+/// Common shape of the ⋈/×/⋉/▷/outer cursors: materialized right side
+/// (JoinRightSide) plus the shared probe loops. The derived classes only
+/// differ in Open extras and which loop Next forwards to.
+class HashJoinCursorBase : public Cursor {
  public:
-  CrossJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
-                  CursorPtr right)
+  HashJoinCursorBase(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
+                     CursorPtr right)
       : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {}
+  void Close() override {
+    left_->Close();
+    rhs_.Release(ctx_);
+  }
+
+  // probe::JoinProbeLoops access policy (nal/probe_loops.h).
+  ExecContext& ctx() { return ctx_; }
+  const AlgebraOp& op() const { return op_; }
+  bool LeftNext(Tuple* out) { return left_->Next(out); }
+  bool use_index() const { return rhs_.has_equi(); }
+  const HashIndex& hash_index() const { return rhs_.index(); }
+  const Expr* residual() const { return rhs_.equi().residual.get(); }
+  std::span<const Symbol> probe_attrs() const {
+    return rhs_.equi().left_attrs;
+  }
+  const Tuple& right_at(uint32_t pos) const { return rhs_.right()[pos]; }
+  void ScanRestart() { scan_pos_ = 0; }
+  bool ScanNext(const Tuple** r) {
+    if (scan_pos_ >= rhs_.right().size()) return false;
+    *r = &rhs_.right()[scan_pos_++];
+    return true;
+  }
+  const std::vector<Symbol>& outer_null_attrs() const { return null_attrs_; }
+  const Value& outer_default() const { return dflt_; }
+
+ protected:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr left_;
+  CursorPtr right_;
+  JoinRightSide rhs_;
+  std::vector<Symbol> null_attrs_;  // outer join
+  Value dflt_;                      // outer join
+  probe::JoinProbeLoops<HashJoinCursorBase> loops_;
+  size_t scan_pos_ = 0;
+};
+
+class CrossJoinCursor final : public HashJoinCursorBase {
+ public:
+  using HashJoinCursorBase::HashJoinCursorBase;
   void Open() override {
     left_->Open();
     rhs_.Build(op_, ctx_, *right_, /*try_equi=*/op_.kind == OpKind::kJoin);
-    have_current_ = false;
+    loops_.Reset();
   }
-  bool Next(Tuple* out) override {
-    while (true) {
-      if (have_current_) {
-        if (rhs_.has_equi()) {
-          while (pos_ < lookup_.size()) {
-            uint32_t rpos = lookup_[pos_++];
-            Tuple combined = current_.Concat(rhs_.right()[rpos]);
-            if (rhs_.equi().residual == nullptr ||
-                ctx_.ev->EvalPred(*rhs_.equi().residual, combined,
-                                  *ctx_.env)) {
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        } else {
-          while (pos_ < rhs_.right().size()) {
-            Tuple combined = current_.Concat(rhs_.right()[pos_]);
-            ++pos_;
-            if (op_.kind == OpKind::kCross ||
-                ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        }
-        have_current_ = false;
-      }
-      if (!left_->Next(&current_)) return false;
-      have_current_ = true;
-      pos_ = 0;
-      if (rhs_.has_equi()) {
-        rhs_.index().LookupInto(current_, rhs_.equi().left_attrs,
-                                ctx_.ev->store(), &key_scratch_, &lookup_);
-      }
-    }
-  }
-  void Close() override {
-    left_->Close();
-    rhs_.Release(ctx_);
-  }
-
- private:
-  const AlgebraOp& op_;
-  ExecContext& ctx_;
-  CursorPtr left_;
-  CursorPtr right_;
-  JoinRightSide rhs_;
-  Tuple current_;
-  bool have_current_ = false;
-  std::vector<Key> key_scratch_;
-  std::vector<uint32_t> lookup_;
-  size_t pos_ = 0;
+  bool Next(Tuple* out) override { return loops_.NextCrossJoin(*this, out); }
 };
 
-class SemiAntiJoinCursor final : public Cursor {
+class SemiAntiJoinCursor final : public HashJoinCursorBase {
  public:
-  SemiAntiJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
-                     CursorPtr right)
-      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {}
+  using HashJoinCursorBase::HashJoinCursorBase;
   void Open() override {
     left_->Open();
     rhs_.Build(op_, ctx_, *right_, /*try_equi=*/true);
+    loops_.Reset();
   }
-  bool Next(Tuple* out) override {
-    const bool anti = op_.kind == OpKind::kAntiJoin;
-    Tuple l;
-    while (left_->Next(&l)) {
-      bool matched = false;
-      if (rhs_.has_equi()) {
-        rhs_.index().LookupInto(l, rhs_.equi().left_attrs, ctx_.ev->store(),
-                                &key_scratch_, &lookup_);
-        for (uint32_t pos : lookup_) {
-          if (rhs_.equi().residual == nullptr ||
-              ctx_.ev->EvalPred(*rhs_.equi().residual,
-                                l.Concat(rhs_.right()[pos]), *ctx_.env)) {
-            matched = true;
-            break;
-          }
-        }
-      } else {
-        for (const Tuple& r : rhs_.right()) {
-          if (ctx_.ev->EvalPred(*op_.pred, l.Concat(r), *ctx_.env)) {
-            matched = true;
-            break;
-          }
-        }
-      }
-      if (matched != anti) {
-        *out = std::move(l);
-        CountProduced(ctx_);
-        return true;
-      }
-    }
-    return false;
-  }
-  void Close() override {
-    left_->Close();
-    rhs_.Release(ctx_);
-  }
-
- private:
-  const AlgebraOp& op_;
-  ExecContext& ctx_;
-  CursorPtr left_;
-  CursorPtr right_;
-  JoinRightSide rhs_;
-  std::vector<Key> key_scratch_;
-  std::vector<uint32_t> lookup_;
+  bool Next(Tuple* out) override { return loops_.NextSemiAnti(*this, out); }
 };
 
-class OuterJoinCursor final : public Cursor {
+class OuterJoinCursor final : public HashJoinCursorBase {
  public:
   OuterJoinCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr left,
                   CursorPtr right)
-      : op_(op), ctx_(ctx), left_(std::move(left)), right_(std::move(right)) {
+      : HashJoinCursorBase(op, ctx, std::move(left), std::move(right)) {
     AttrInfo info = OutputAttrs(*op_.child(1));
     for (Symbol a : info.attrs) {
       if (a != op_.attr) null_attrs_.push_back(a);
@@ -615,74 +560,9 @@ class OuterJoinCursor final : public Cursor {
     dflt_ = op_.expr != nullptr
                 ? ctx_.ev->EvalExpr(*op_.expr, Tuple(), *ctx_.env)
                 : Value::Null();
-    have_current_ = false;
+    loops_.Reset();
   }
-  bool Next(Tuple* out) override {
-    while (true) {
-      if (have_current_) {
-        if (rhs_.has_equi()) {
-          while (pos_ < lookup_.size()) {
-            uint32_t rpos = lookup_[pos_++];
-            Tuple combined = current_.Concat(rhs_.right()[rpos]);
-            if (rhs_.equi().residual == nullptr ||
-                ctx_.ev->EvalPred(*rhs_.equi().residual, combined,
-                                  *ctx_.env)) {
-              matched_ = true;
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        } else {
-          while (pos_ < rhs_.right().size()) {
-            Tuple combined = current_.Concat(rhs_.right()[pos_]);
-            ++pos_;
-            if (ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
-              matched_ = true;
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        }
-        have_current_ = false;
-        if (!matched_) {
-          Tuple t = current_.Concat(Tuple::Nulls(null_attrs_));
-          t.Set(op_.attr, dflt_);
-          *out = std::move(t);
-          CountProduced(ctx_);
-          return true;
-        }
-      }
-      if (!left_->Next(&current_)) return false;
-      have_current_ = true;
-      matched_ = false;
-      pos_ = 0;
-      if (rhs_.has_equi()) {
-        rhs_.index().LookupInto(current_, rhs_.equi().left_attrs,
-                                ctx_.ev->store(), &key_scratch_, &lookup_);
-      }
-    }
-  }
-  void Close() override {
-    left_->Close();
-    rhs_.Release(ctx_);
-  }
-
- private:
-  const AlgebraOp& op_;
-  ExecContext& ctx_;
-  CursorPtr left_;
-  CursorPtr right_;
-  JoinRightSide rhs_;
-  std::vector<Symbol> null_attrs_;
-  Value dflt_;
-  Tuple current_;
-  bool have_current_ = false;
-  bool matched_ = false;
-  std::vector<Key> key_scratch_;
-  std::vector<uint32_t> lookup_;
-  size_t pos_ = 0;
+  bool Next(Tuple* out) override { return loops_.NextOuter(*this, out); }
 };
 
 class GroupBinaryCursor final : public Cursor {
@@ -699,35 +579,33 @@ class GroupBinaryCursor final : public Cursor {
     } else if (op_.left_attrs.size() != 1) {
       throw std::runtime_error("theta nest-join requires a single attribute");
     }
+    loops_.Reset();
   }
   bool Next(Tuple* out) override {
-    Tuple l;
-    if (!left_->Next(&l)) return false;
-    Sequence group;
-    if (op_.theta == CmpOp::kEq) {
-      index_.LookupInto(l, op_.left_attrs, ctx_.ev->store(), &key_scratch_,
-                        &lookup_);
-      for (uint32_t pos : lookup_) {
-        group.Append(right_seq_[pos]);
-      }
-    } else {
-      for (const Tuple& r : right_seq_) {
-        if (ctx_.ev->GeneralCompare(op_.theta, l.Get(op_.left_attrs[0]),
-                                    r.Get(op_.right_attrs[0]))) {
-          group.Append(r);
-        }
-      }
-    }
-    Value agg = ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env);
-    l.Set(op_.attr, std::move(agg));
-    *out = std::move(l);
-    CountProduced(ctx_);
-    return true;
+    return loops_.NextGroupBinary(*this, out);
   }
   void Close() override {
     left_->Close();
     if (ctx_.stream != nullptr) ctx_.stream->OnRelease(right_seq_.size());
   }
+
+  // probe::JoinProbeLoops access policy (nal/probe_loops.h).
+  ExecContext& ctx() { return ctx_; }
+  const AlgebraOp& op() const { return op_; }
+  bool LeftNext(Tuple* out) { return left_->Next(out); }
+  bool use_index() const { return op_.theta == CmpOp::kEq; }
+  const HashIndex& hash_index() const { return index_; }
+  const Expr* residual() const { return nullptr; }
+  std::span<const Symbol> probe_attrs() const { return op_.left_attrs; }
+  const Tuple& right_at(uint32_t pos) const { return right_seq_[pos]; }
+  void ScanRestart() { scan_pos_ = 0; }
+  bool ScanNext(const Tuple** r) {
+    if (scan_pos_ >= right_seq_.size()) return false;
+    *r = &right_seq_[scan_pos_++];
+    return true;
+  }
+  const std::vector<Symbol>& outer_null_attrs() const { return op_.attrs; }
+  const Value& outer_default() const { return dflt_; }
 
  private:
   const AlgebraOp& op_;
@@ -736,8 +614,9 @@ class GroupBinaryCursor final : public Cursor {
   CursorPtr right_;
   Sequence right_seq_;
   HashIndex index_;
-  std::vector<Key> key_scratch_;
-  std::vector<uint32_t> lookup_;
+  Value dflt_;  // unused (outer-join hook of the access policy)
+  probe::JoinProbeLoops<GroupBinaryCursor> loops_;
+  size_t scan_pos_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -751,53 +630,22 @@ class GroupUnaryCursor final : public Cursor {
   void Open() override {
     input_seq_ = Materialize(*input_);
     if (ctx_.stream != nullptr) ctx_.stream->OnBuffer(input_seq_.size());
-    // Distinct keys in first-occurrence order (ΠD semantics: deterministic).
-    std::vector<Key> keys;
-    for (uint32_t i = 0; i < input_seq_.size(); ++i) {
-      MakeKeysInto(input_seq_[i], op_.left_attrs, ctx_.ev->store(), &keys);
-      if (keys.size() > 1) multi_key_ = true;
-      for (Key& k : keys) {
-        auto [it, inserted] = buckets_.try_emplace(k);
-        if (inserted) order_.push_back(k);
-        it->second.push_back(i);
-      }
-    }
-    next_key_ = 0;
+    // Distinct keys in first-occurrence order (ΠD semantics: deterministic);
+    // bucketing and group emission shared with the spill cursor
+    // (nal/probe_loops.h).
+    gamma_.Build(input_seq_, op_.left_attrs, ctx_.ev->store());
   }
   bool Next(Tuple* out) override {
-    if (next_key_ >= order_.size()) return false;
-    const Key& key = order_[next_key_++];
-    Sequence group;
     if (op_.theta == CmpOp::kEq) {
-      // Unless a sequence-valued key put a tuple into several buckets, each
-      // input tuple belongs to exactly one group: hand it over.
-      for (uint32_t pos : buckets_[key]) {
-        if (multi_key_) {
-          group.Append(input_seq_[pos]);
-        } else {
-          group.Append(std::move(input_seq_[pos]));
-        }
-      }
-    } else {
-      // θ-grouping: group for key v = σ_{v θ A}(e).
-      if (op_.left_attrs.size() != 1) {
-        throw std::runtime_error("theta-grouping requires a single attribute");
-      }
-      for (const Tuple& u : input_seq_) {
-        if (ctx_.ev->GeneralCompare(op_.theta, key.values[0],
-                                    u.Get(op_.left_attrs[0]))) {
-          group.Append(u);
-        }
-      }
+      return probe::NextEqGammaGroup(gamma_, input_seq_, op_, ctx_, out);
     }
-    Tuple result;
-    for (size_t j = 0; j < op_.left_attrs.size(); ++j) {
-      result.Set(op_.left_attrs[j], key.values[j]);
-    }
-    result.Set(op_.attr, ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env));
-    *out = std::move(result);
-    CountProduced(ctx_);
-    return true;
+    // θ-grouping: group for key v = σ_{v θ A}(e), rescanning the input.
+    return probe::NextThetaGammaGroup(
+        gamma_.order, &gamma_.next_key, op_, ctx_,
+        [&](auto&& fn) {
+          for (const Tuple& u : input_seq_) fn(u);
+        },
+        out);
   }
   void Close() override {
     if (ctx_.stream != nullptr) ctx_.stream->OnRelease(input_seq_.size());
@@ -808,10 +656,7 @@ class GroupUnaryCursor final : public Cursor {
   ExecContext& ctx_;
   CursorPtr input_;
   Sequence input_seq_;
-  std::vector<Key> order_;
-  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets_;
-  bool multi_key_ = false;
-  size_t next_key_ = 0;
+  probe::GammaBuckets gamma_;
 };
 
 class SortCursor final : public Cursor {
@@ -845,7 +690,7 @@ class SortCursor final : public Cursor {
   bool Next(Tuple* out) override {
     if (pos_ >= idx_.size()) return false;
     *out = std::move(input_seq_[idx_[pos_++]]);
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
   void Close() override {
@@ -897,7 +742,7 @@ class XiSimpleCursor final : public Cursor {
     }
     ctx_.ev->RunXiProgram(op_.s1, t, *ctx_.env);
     *out = std::move(t);
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
   void Close() override {
@@ -953,7 +798,7 @@ class XiGroupCursor final : public Cursor {
     ctx_.ev->RunXiProgram(op_.s3, input_seq_[members.back()].Concat(rep),
                           *ctx_.env);
     *out = std::move(rep);
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
   void Close() override {

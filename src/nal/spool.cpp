@@ -17,6 +17,7 @@
 
 #include "nal/analysis.h"
 #include "nal/physical.h"
+#include "nal/probe_loops.h"
 #include "xml/store.h"
 
 namespace nalq::nal {
@@ -62,6 +63,14 @@ size_t MergeFanIn(uint64_t budget_limit) {
 
 /// Container overhead charged per buffered tuple on top of its payload.
 constexpr uint64_t kTupleOverhead = 48;
+
+/// Resident cost of one open spool write handle (the stdio buffer). A grace
+/// partition set holds up to Level0Partitions() of these at once, which at
+/// small budgets is a real fraction of the limit — so every SpoolFile
+/// charges its buffer to the MemoryBudget while its write handle is open.
+/// Charged via ChargeUnchecked: spilling is how breakers *release* memory,
+/// so opening a spill file must never fail for lack of budget.
+constexpr uint64_t kWriteBufferBytes = 8 * 1024;
 
 // ---------------------------------------------------------------------------
 // Codec
@@ -396,6 +405,7 @@ class SpoolFile {
   SpoolFile(SpoolContext* ctx, SpillStats* stats) : ctx_(ctx), stats_(stats) {}
   ~SpoolFile() {
     if (wf_ != nullptr) std::fclose(wf_);
+    ReleaseBuffer();
     if (!path_.empty()) std::remove(path_.c_str());
   }
   SpoolFile(const SpoolFile&) = delete;
@@ -409,6 +419,8 @@ class SpoolFile {
         path_.clear();
         throw std::runtime_error("spool: cannot open temp file for writing");
       }
+      ctx_->budget().ChargeUnchecked(kWriteBufferBytes);
+      buffer_charged_ = kWriteBufferBytes;
     }
     uint32_t len = CheckedU32(payload.size());
     if (std::fwrite(&len, 4, 1, wf_) != 1 ||
@@ -419,15 +431,18 @@ class SpoolFile {
     ++records_;
   }
 
-  /// Flushes and closes the write handle; accounts the file in SpillStats.
+  /// Flushes and closes the write handle (releasing its buffer charge);
+  /// accounts the file in SpillStats.
   void FinishWrites() {
     if (wf_ != nullptr) {
       if (std::fclose(wf_) != 0) {
         wf_ = nullptr;
+        ReleaseBuffer();
         throw std::runtime_error("spool: close failed (disk full?)");
       }
       wf_ = nullptr;
     }
+    ReleaseBuffer();
     if (!accounted_ && records_ > 0 && stats_ != nullptr) {
       stats_->spilled_bytes = xml::SaturatingAdd(stats_->spilled_bytes, bytes_);
       stats_->spill_runs = xml::SaturatingAdd(stats_->spill_runs, 1);
@@ -485,12 +500,20 @@ class SpoolFile {
   };
 
  private:
+  void ReleaseBuffer() {
+    if (buffer_charged_ != 0) {
+      ctx_->budget().Release(buffer_charged_);
+      buffer_charged_ = 0;
+    }
+  }
+
   SpoolContext* ctx_;
   SpillStats* stats_;
   std::string path_;
   FILE* wf_ = nullptr;
   uint64_t bytes_ = 0;
   uint64_t records_ = 0;
+  uint64_t buffer_charged_ = 0;
   bool accounted_ = false;
 };
 
@@ -910,9 +933,7 @@ uint64_t ExternalSorter::memory_records() const {
 
 namespace {
 
-inline void CountProduced(ExecContext& ctx) {
-  ++ctx.ev->stats().tuples_produced;
-}
+using probe::CountProducedTuple;
 
 inline SpillStats* StatsOf(ExecContext& ctx) {
   return &ctx.ev->stats().spill;
@@ -965,7 +986,7 @@ class SpillSortCursor final : public Cursor {
     ExternalSorter::Record rec;
     if (!sorter_->Next(&rec)) return false;
     *out = std::move(rec.tuple);
-    CountProduced(ctx_);
+    CountProducedTuple(ctx_);
     return true;
   }
 
@@ -1059,7 +1080,7 @@ class SpillGroupUnaryCursor final : public Cursor {
       ExternalSorter::Record rec;
       if (!sorter_->Next(&rec)) return false;
       *out = std::move(rec.tuple);
-      CountProduced(ctx_);
+      CountProducedTuple(ctx_);
       return true;
     }
     return NextEqInMemory(out);
@@ -1133,17 +1154,9 @@ class SpillGroupUnaryCursor final : public Cursor {
     });
 
     if (!spilled_) {
-      // In-memory: exactly the plain GroupUnaryCursor.
-      for (uint32_t i = 0; i < input_seq_.size(); ++i) {
-        MakeKeysInto(input_seq_[i], op_.left_attrs, store, &keys);
-        if (keys.size() > 1) multi_key_ = true;
-        for (Key& k : keys) {
-          auto [it, inserted] = buckets_.try_emplace(k);
-          if (inserted) order_.push_back(k);
-          it->second.push_back(i);
-        }
-      }
-      next_key_ = 0;
+      // In-memory: exactly the plain GroupUnaryCursor — literally, the
+      // bucketing and emission are the shared nal/probe_loops.h helpers.
+      gamma_.Build(input_seq_, op_.left_attrs, store);
       if (ctx_.stream != nullptr) {
         stream_charged_ = input_seq_.size();
         ctx_.stream->OnBuffer(stream_charged_);
@@ -1262,25 +1275,7 @@ class SpillGroupUnaryCursor final : public Cursor {
   }
 
   bool NextEqInMemory(Tuple* out) {
-    if (next_key_ >= order_.size()) return false;
-    const Key& key = order_[next_key_++];
-    Sequence group;
-    for (uint32_t pos : buckets_[key]) {
-      if (multi_key_) {
-        group.Append(input_seq_[pos]);
-      } else {
-        group.Append(std::move(input_seq_[pos]));
-      }
-    }
-    Tuple result;
-    for (size_t j = 0; j < op_.left_attrs.size(); ++j) {
-      result.Set(op_.left_attrs[j], key.values[j]);
-    }
-    result.Set(op_.attr,
-               ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env));
-    *out = std::move(result);
-    CountProduced(ctx_);
-    return true;
+    return probe::NextEqGammaGroup(gamma_, input_seq_, op_, ctx_, out);
   }
 
   // ---- θ-grouping: spooled input, rescanned per key ----------------------
@@ -1293,12 +1288,12 @@ class SpillGroupUnaryCursor final : public Cursor {
     DrainInto(*input_, [&](Tuple t) {
       MakeKeysInto(t, op_.left_attrs, store, &keys);
       for (Key& k : keys) {
-        if (seen.insert(k).second) order_.push_back(k);
+        if (seen.insert(k).second) gamma_.order.push_back(k);
       }
       theta_spool_->Append(std::move(t));
     });
     theta_spool_->FinishWrites();
-    next_key_ = 0;
+    gamma_.next_key = 0;
     if (ctx_.stream != nullptr) {
       stream_charged_ = theta_spool_->memory_size();
       ctx_.stream->OnBuffer(stream_charged_);
@@ -1306,29 +1301,19 @@ class SpillGroupUnaryCursor final : public Cursor {
   }
 
   bool NextTheta(Tuple* out) {
-    if (next_key_ >= order_.size()) return false;
-    const Key& key = order_[next_key_++];
-    if (op_.left_attrs.size() != 1) {
-      throw std::runtime_error("theta-grouping requires a single attribute");
-    }
-    Sequence group;
-    TupleSpool::Reader reader = theta_spool_->NewReader();
-    Tuple u;
-    while (reader.Next(&u)) {
-      if (ctx_.ev->GeneralCompare(op_.theta, key.values[0],
-                                  u.Get(op_.left_attrs[0]))) {
-        group.Append(std::move(u));
-      }
-    }
-    Tuple result;
-    for (size_t j = 0; j < op_.left_attrs.size(); ++j) {
-      result.Set(op_.left_attrs[j], key.values[j]);
-    }
-    result.Set(op_.attr,
-               ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env));
-    *out = std::move(result);
-    CountProduced(ctx_);
-    return true;
+    // Group construction shared with GroupUnaryCursor (nal/probe_loops.h);
+    // only the input rescan differs — a spool replay instead of an in-RAM
+    // sequence walk.
+    return probe::NextThetaGammaGroup(
+        gamma_.order, &gamma_.next_key, op_, ctx_,
+        [&](auto&& fn) {
+          TupleSpool::Reader reader = theta_spool_->NewReader();
+          Tuple u;
+          // Rvalue: each deserialized tuple is fresh, so a match is moved
+          // into the group (u is reassigned by the next Next()).
+          while (reader.Next(&u)) fn(std::move(u));
+        },
+        out);
   }
 
   const AlgebraOp& op_;
@@ -1337,11 +1322,8 @@ class SpillGroupUnaryCursor final : public Cursor {
   ChargeGuard charge_;
 
   bool spilled_ = false;
-  Sequence input_seq_;  // in-memory mode
-  std::vector<Key> order_;
-  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> buckets_;
-  bool multi_key_ = false;
-  size_t next_key_ = 0;
+  Sequence input_seq_;       // in-memory mode
+  probe::GammaBuckets gamma_;  // eq buckets; θ mode reuses order/next_key
   uint64_t stream_charged_ = 0;
 
   PartitionSet partitions_;
@@ -1400,9 +1382,10 @@ class SpillJoinCursor final : public Cursor {
   bool Next(Tuple* out) override {
     switch (mode_) {
       case Mode::kInMemory:
-        return NextInMemory(out);
       case Mode::kSpilledLoop:
-        return NextSpilledLoop(out);
+        // In-memory and spooled-nested-loop probes share the plain cursors'
+        // loops (nal/probe_loops.h); the access methods below read mode_.
+        return NextProbeLoop(out);
       case Mode::kSpilledEqui:
         return NextSpilledEqui(out);
       case Mode::kBuilding:
@@ -1410,6 +1393,44 @@ class SpillJoinCursor final : public Cursor {
     }
     return false;
   }
+
+  // ---- probe::JoinProbeLoops access policy (nal/probe_loops.h) -----------
+
+  ExecContext& ctx() { return ctx_; }
+  const AlgebraOp& op() const { return op_; }
+  bool LeftNext(Tuple* out) { return left_->Next(out); }
+  bool use_index() const {
+    return mode_ == Mode::kInMemory && equi_.has_value();
+  }
+  const HashIndex& hash_index() const { return index_; }
+  const Expr* residual() const { return equi_->residual.get(); }
+  std::span<const Symbol> probe_attrs() const {
+    return equi_->left_attrs;
+  }
+  const Tuple& right_at(uint32_t pos) const { return right_seq_[pos]; }
+  void ScanRestart() {
+    if (mode_ == Mode::kInMemory) {
+      scan_pos_ = 0;
+    } else if (scan_reader_.has_value()) {
+      // One cached handle, rewound per left tuple — N fopen/fclose pairs
+      // for an N-tuple probe side would dominate the nested loop.
+      scan_reader_->Rewind();
+    } else {
+      scan_reader_.emplace(right_spool_->NewReader());
+    }
+  }
+  bool ScanNext(const Tuple** r) {
+    if (mode_ == Mode::kInMemory) {
+      if (scan_pos_ >= right_seq_.size()) return false;
+      *r = &right_seq_[scan_pos_++];
+      return true;
+    }
+    if (!scan_reader_->Next(&scan_tuple_)) return false;
+    *r = &scan_tuple_;
+    return true;
+  }
+  const std::vector<Symbol>& outer_null_attrs() const { return null_attrs_; }
+  const Value& outer_default() const { return dflt_; }
 
   void Close() override {
     left_->Close();
@@ -1422,9 +1443,6 @@ class SpillJoinCursor final : public Cursor {
 
   std::span<const Symbol> build_attrs() const {
     return equi_->right_attrs;
-  }
-  std::span<const Symbol> probe_attrs() const {
-    return equi_->left_attrs;
   }
 
   void DetectEqui() {
@@ -1716,7 +1734,7 @@ class SpillJoinCursor final : public Cursor {
             if (equi_->residual == nullptr ||
                 ctx_.ev->EvalPred(*equi_->residual, combined, *ctx_.env)) {
               *out = std::move(combined);
-              CountProduced(ctx_);
+              CountProducedTuple(ctx_);
               return true;
             }
           }
@@ -1738,7 +1756,7 @@ class SpillJoinCursor final : public Cursor {
           have_left_ = false;
           if (emit) {
             *out = std::move(l);
-            CountProduced(ctx_);
+            CountProducedTuple(ctx_);
             return true;
           }
           break;
@@ -1750,7 +1768,7 @@ class SpillJoinCursor final : public Cursor {
                 ctx_.ev->EvalPred(*equi_->residual, combined, *ctx_.env)) {
               matched_ = true;
               *out = std::move(combined);
-              CountProduced(ctx_);
+              CountProducedTuple(ctx_);
               return true;
             }
           }
@@ -1761,7 +1779,7 @@ class SpillJoinCursor final : public Cursor {
             Tuple t = l.Concat(Tuple::Nulls(null_attrs_));
             t.Set(op_.attr, dflt_);
             *out = std::move(t);
-            CountProduced(ctx_);
+            CountProducedTuple(ctx_);
             return true;
           }
           break;
@@ -1775,7 +1793,7 @@ class SpillJoinCursor final : public Cursor {
           group_ = Sequence();
           l.Set(op_.attr, std::move(agg));
           *out = std::move(l);
-          CountProduced(ctx_);
+          CountProducedTuple(ctx_);
           return true;
         }
         default:
@@ -1784,217 +1802,24 @@ class SpillJoinCursor final : public Cursor {
     }
   }
 
-  // ---- in-memory mode: verbatim re-implementation of the plain cursors --
-  //
-  // MIRROR CONTRACT: NextCrossJoin / NextSemiAnti / NextOuter /
-  // NextGroupBinary below replicate CrossJoinCursor / SemiAntiJoinCursor /
-  // OuterJoinCursor / GroupBinaryCursor in cursor.cpp line for line (the
-  // byte-identity of a budgeted-but-fitting run depends on it, asserted by
-  // tests/spool_test.cpp). A semantic change to one of those cursors MUST
-  // be mirrored here; the ROADMAP tracks extracting the shared loops.
-
-  bool NextInMemory(Tuple* out) {
+  /// In-memory and spooled-nested-loop probes via the shared loops — the
+  /// fits-in-memory byte-identity with the plain cursors holds because this
+  /// IS the plain cursors' code (nal/probe_loops.h).
+  bool NextProbeLoop(Tuple* out) {
     switch (op_.kind) {
       case OpKind::kCross:
       case OpKind::kJoin:
-        return NextCrossJoin(out, /*spooled=*/false);
+        return loops_.NextCrossJoin(*this, out);
       case OpKind::kSemiJoin:
       case OpKind::kAntiJoin:
-        return NextSemiAnti(out, /*spooled=*/false);
+        return loops_.NextSemiAnti(*this, out);
       case OpKind::kOuterJoin:
-        return NextOuter(out, /*spooled=*/false);
+        return loops_.NextOuter(*this, out);
       case OpKind::kGroupBinary:
-        return NextGroupBinary(out, /*spooled=*/false);
+        return loops_.NextGroupBinary(*this, out);
       default:
         return false;
     }
-  }
-
-  bool NextSpilledLoop(Tuple* out) {
-    switch (op_.kind) {
-      case OpKind::kCross:
-      case OpKind::kJoin:
-        return NextCrossJoin(out, /*spooled=*/true);
-      case OpKind::kSemiJoin:
-      case OpKind::kAntiJoin:
-        return NextSemiAnti(out, /*spooled=*/true);
-      case OpKind::kOuterJoin:
-        return NextOuter(out, /*spooled=*/true);
-      case OpKind::kGroupBinary:
-        return NextGroupBinary(out, /*spooled=*/true);
-      default:
-        return false;
-    }
-  }
-
-  /// One-at-a-time scan of the build side for the nested-loop paths:
-  /// in-memory it walks right_seq_, spooled it streams the spool file —
-  /// the same tuples in the same (right-input) order either way.
-  bool ScanNext(bool spooled, Tuple* r) {
-    if (!spooled) {
-      if (scan_pos_ >= right_seq_.size()) return false;
-      *r = right_seq_[scan_pos_++];
-      return true;
-    }
-    return scan_reader_->Next(r);
-  }
-  void ScanRestart(bool spooled) {
-    if (!spooled) {
-      scan_pos_ = 0;
-    } else if (scan_reader_.has_value()) {
-      // One cached handle, rewound per left tuple — N fopen/fclose pairs
-      // for an N-tuple probe side would dominate the nested loop.
-      scan_reader_->Rewind();
-    } else {
-      scan_reader_.emplace(right_spool_->NewReader());
-    }
-  }
-
-  bool NextCrossJoin(Tuple* out, bool spooled) {
-    while (true) {
-      if (have_left_) {
-        if (!spooled && equi_.has_value()) {
-          while (lookup_pos_ < lookup_.size()) {
-            uint32_t rpos = lookup_[lookup_pos_++];
-            Tuple combined = cur_left_.Concat(right_seq_[rpos]);
-            if (equi_->residual == nullptr ||
-                ctx_.ev->EvalPred(*equi_->residual, combined, *ctx_.env)) {
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        } else {
-          Tuple r;
-          while (ScanNext(spooled, &r)) {
-            Tuple combined = cur_left_.Concat(r);
-            if (op_.kind == OpKind::kCross ||
-                ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        }
-        have_left_ = false;
-      }
-      if (!left_->Next(&cur_left_)) return false;
-      have_left_ = true;
-      lookup_pos_ = 0;
-      ScanRestart(spooled);
-      if (!spooled && equi_.has_value()) {
-        index_.LookupInto(cur_left_, probe_attrs(), ctx_.ev->store(),
-                          &key_scratch_, &lookup_);
-      }
-    }
-  }
-
-  bool NextSemiAnti(Tuple* out, bool spooled) {
-    const bool anti = op_.kind == OpKind::kAntiJoin;
-    Tuple l;
-    while (left_->Next(&l)) {
-      bool matched = false;
-      if (!spooled && equi_.has_value()) {
-        index_.LookupInto(l, probe_attrs(), ctx_.ev->store(), &key_scratch_,
-                          &lookup_);
-        for (uint32_t pos : lookup_) {
-          if (equi_->residual == nullptr ||
-              ctx_.ev->EvalPred(*equi_->residual,
-                                l.Concat(right_seq_[pos]), *ctx_.env)) {
-            matched = true;
-            break;
-          }
-        }
-      } else {
-        ScanRestart(spooled);
-        Tuple r;
-        while (ScanNext(spooled, &r)) {
-          if (ctx_.ev->EvalPred(*op_.pred, l.Concat(r), *ctx_.env)) {
-            matched = true;
-            break;
-          }
-        }
-      }
-      if (matched != anti) {
-        *out = std::move(l);
-        CountProduced(ctx_);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  bool NextOuter(Tuple* out, bool spooled) {
-    while (true) {
-      if (have_left_) {
-        if (!spooled && equi_.has_value()) {
-          while (lookup_pos_ < lookup_.size()) {
-            uint32_t rpos = lookup_[lookup_pos_++];
-            Tuple combined = cur_left_.Concat(right_seq_[rpos]);
-            if (equi_->residual == nullptr ||
-                ctx_.ev->EvalPred(*equi_->residual, combined, *ctx_.env)) {
-              matched_ = true;
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        } else {
-          Tuple r;
-          while (ScanNext(spooled, &r)) {
-            Tuple combined = cur_left_.Concat(r);
-            if (ctx_.ev->EvalPred(*op_.pred, combined, *ctx_.env)) {
-              matched_ = true;
-              *out = std::move(combined);
-              CountProduced(ctx_);
-              return true;
-            }
-          }
-        }
-        have_left_ = false;
-        if (!matched_) {
-          Tuple t = cur_left_.Concat(Tuple::Nulls(null_attrs_));
-          t.Set(op_.attr, dflt_);
-          *out = std::move(t);
-          CountProduced(ctx_);
-          return true;
-        }
-      }
-      if (!left_->Next(&cur_left_)) return false;
-      have_left_ = true;
-      matched_ = false;
-      lookup_pos_ = 0;
-      ScanRestart(spooled);
-      if (!spooled && equi_.has_value()) {
-        index_.LookupInto(cur_left_, probe_attrs(), ctx_.ev->store(),
-                          &key_scratch_, &lookup_);
-      }
-    }
-  }
-
-  bool NextGroupBinary(Tuple* out, bool spooled) {
-    Tuple l;
-    if (!left_->Next(&l)) return false;
-    Sequence group;
-    if (op_.theta == CmpOp::kEq && !spooled) {
-      index_.LookupInto(l, op_.left_attrs, ctx_.ev->store(), &key_scratch_,
-                        &lookup_);
-      for (uint32_t pos : lookup_) group.Append(right_seq_[pos]);
-    } else {
-      ScanRestart(spooled);
-      Tuple r;
-      while (ScanNext(spooled, &r)) {
-        if (ctx_.ev->GeneralCompare(op_.theta, l.Get(op_.left_attrs[0]),
-                                    r.Get(op_.right_attrs[0]))) {
-          group.Append(std::move(r));
-        }
-      }
-    }
-    Value agg = ctx_.ev->ApplyAgg(op_.agg, std::move(group), *ctx_.env);
-    l.Set(op_.attr, std::move(agg));
-    *out = std::move(l);
-    CountProduced(ctx_);
-    return true;
   }
 
   const AlgebraOp& op_;
@@ -2013,15 +1838,16 @@ class SpillJoinCursor final : public Cursor {
   std::vector<Symbol> null_attrs_;  // outer join
   Value dflt_;
 
-  // Nested-loop / in-memory probe state.
+  // Probe state: loops_ for the shared in-memory/nested-loop paths,
+  // cur_left_/have_left_/matched_ for the spilled-equi restoration merge.
+  probe::JoinProbeLoops<SpillJoinCursor> loops_;
   Tuple cur_left_;
   bool have_left_ = false;
   bool matched_ = false;
   std::vector<Key> key_scratch_;
   std::vector<size_t> part_scratch_;
-  std::vector<uint32_t> lookup_;
-  size_t lookup_pos_ = 0;
   size_t scan_pos_ = 0;
+  Tuple scan_tuple_;
   std::optional<TupleSpool> right_spool_;
   std::optional<TupleSpool::Reader> scan_reader_;
 

@@ -1,0 +1,51 @@
+#include "opt/chooser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rewrite/unnester.h"
+
+namespace nalq::opt {
+
+Choice ChoosePlan(const xml::Store& store,
+                  const std::vector<rewrite::Alternative>& alternatives,
+                  const ChooseOptions& options) {
+  if (alternatives.empty()) {
+    throw std::invalid_argument("ChoosePlan: no alternatives");
+  }
+  CostModel model(options.memory_budget_bytes);
+  Choice out;
+  out.estimates.reserve(alternatives.size());
+  for (const rewrite::Alternative& alt : alternatives) {
+    CardinalityEstimator estimator(store, model);
+    out.estimates.push_back(estimator.EstimatePlan(*alt.plan));
+  }
+  // Two estimates within this relative margin of the cheapest are "the
+  // same cost": the model's constants are not calibrated finer than this,
+  // and the rule-priority tie-break keeps the choice deterministic and
+  // paper-faithful when the model cannot tell plans apart. The margin is
+  // anchored to the global minimum (not compared pairwise), so near-ties
+  // cannot chain into a pick arbitrarily far from the cheapest plan.
+  constexpr double kTieMargin = 0.02;
+  size_t cheapest = 0;
+  for (size_t i = 1; i < alternatives.size(); ++i) {
+    if (out.estimates[i].total_cost() <
+        out.estimates[cheapest].total_cost()) {
+      cheapest = i;
+    }
+  }
+  double floor = out.estimates[cheapest].total_cost();
+  double margin = kTieMargin * std::max(floor, 1.0);
+  out.index = cheapest;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    if (out.estimates[i].total_cost() <= floor + margin &&
+        rewrite::RulePriority(alternatives[i].rule) <
+            rewrite::RulePriority(alternatives[out.index].rule)) {
+      out.index = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace nalq::opt

@@ -1,0 +1,46 @@
+// Cost-based choice among the unnesting alternatives of one query.
+//
+// The paper's Sec. 4 policy — "whenever there are alternative applications,
+// the most efficient plan should be chosen" — is realized here: every
+// alternative the rewriter produced is estimated bottom-up
+// (opt/cardinality.h) under the active memory budget (opt/cost.h) and the
+// cheapest one wins. Estimates that tie within a small relative margin fall
+// back to the rule-priority ranking (rewrite/unnester.h), which encodes the
+// paper's "most restrictive equivalence" heuristic — so on an empty store,
+// where every estimate is built from defaults, the chooser degrades to
+// exactly the old static behavior.
+#ifndef NALQ_OPT_CHOOSER_H_
+#define NALQ_OPT_CHOOSER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "opt/cardinality.h"
+#include "rewrite/equivalences.h"
+
+namespace nalq::opt {
+
+struct ChooseOptions {
+  /// Mirrors Engine::Run's memory_budget_bytes: plans whose breakers exceed
+  /// it are charged spill I/O, so a tight budget can flip the choice toward
+  /// a plan with smaller build sides. 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+};
+
+struct Choice {
+  /// Index of the winning alternative (into the vector passed to Choose).
+  size_t index = 0;
+  /// One estimate per alternative, same order.
+  std::vector<PlanEstimate> estimates;
+};
+
+/// Estimates every alternative against `store`'s statistics and returns the
+/// cheapest (ties broken by rule priority, then by input order). The
+/// alternatives vector must be non-empty.
+Choice ChoosePlan(const xml::Store& store,
+                  const std::vector<rewrite::Alternative>& alternatives,
+                  const ChooseOptions& options = {});
+
+}  // namespace nalq::opt
+
+#endif  // NALQ_OPT_CHOOSER_H_

@@ -1,0 +1,18 @@
+#include "opt/cost.h"
+
+#include <cmath>
+
+namespace nalq::opt {
+
+double CostModel::SortCost(double n) const {
+  if (n <= 1) return kTuple;
+  return kSortCoef * n * std::log2(n + 1);
+}
+
+double CostModel::SpillIo(double resident_bytes) const {
+  if (budget_ == 0) return 0;
+  if (resident_bytes <= static_cast<double>(budget_)) return 0;
+  return kIoPerByte * 2.0 * resident_bytes;  // write once, read once
+}
+
+}  // namespace nalq::opt

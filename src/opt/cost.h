@@ -1,0 +1,77 @@
+// Cost model for the plan chooser (opt/chooser.h).
+//
+// Costs are abstract units, roughly "one tuple moved through one operator".
+// The model charges per-operator CPU from the cardinality estimates
+// (opt/cardinality.h) plus spill I/O whenever a pipeline breaker's estimated
+// resident footprint exceeds the active memory budget — the same budget the
+// spool layer (nal/spool.h) enforces at execution time, so a plan whose hash
+// build side would grace-partition is charged for writing and re-reading it.
+//
+// Absolute values are meaningless; only ratios between alternatives matter,
+// and ties fall back to the paper's rule-priority ranking (the "most
+// restrictive equivalence" policy of Sec. 4), which keeps the chooser
+// well-behaved on empty stores where every estimate is a default.
+#ifndef NALQ_OPT_COST_H_
+#define NALQ_OPT_COST_H_
+
+#include <cstdint>
+
+namespace nalq::opt {
+
+/// One plan's bottom-up estimate, produced by CardinalityEstimator and
+/// consumed by the chooser, CompiledQuery and the benchmark harness.
+struct PlanEstimate {
+  double rows = 0;      ///< estimated root output rows
+  double cpu_cost = 0;  ///< per-operator CPU units over the whole plan
+  double io_cost = 0;   ///< spill I/O units under the active memory budget
+  /// Largest single breaker footprint (bytes) the plan is estimated to keep
+  /// resident — what the budget comparison ran against.
+  double peak_breaker_bytes = 0;
+
+  double total_cost() const { return cpu_cost + io_cost; }
+};
+
+/// Per-operator cost constants plus the budget-aware spill charge. One
+/// instance per estimation run; copying is fine.
+class CostModel {
+ public:
+  /// `memory_budget_bytes` mirrors Engine::Run's knob: 0 = unlimited (no
+  /// spill I/O is ever charged).
+  explicit CostModel(uint64_t memory_budget_bytes = 0)
+      : budget_(memory_budget_bytes) {}
+
+  uint64_t budget_bytes() const { return budget_; }
+
+  // ---- CPU constants (units per event) ----------------------------------
+  static constexpr double kTuple = 1.0;        ///< tuple through an operator
+  static constexpr double kPredicate = 0.5;    ///< predicate evaluation
+  static constexpr double kPathStep = 0.3;     ///< path step per context
+  static constexpr double kPathResult = 0.2;   ///< node emitted by a path
+  static constexpr double kHashBuild = 2.0;    ///< build-side tuple hashed
+  static constexpr double kHashProbe = 1.0;    ///< probe-side lookup
+  static constexpr double kGroupBuild = 2.0;   ///< Γ input tuple bucketed
+  static constexpr double kDistinct = 1.5;     ///< ΠD key hashed + deduped
+  static constexpr double kRender = 2.0;       ///< Ξ output tuple rendered
+  static constexpr double kSortCoef = 0.4;     ///< × n log2 n
+
+  /// Sort cost for `n` estimated input rows.
+  double SortCost(double n) const;
+
+  /// Spill I/O charge for one pipeline breaker keeping an estimated
+  /// `resident_bytes` footprint: zero while it fits the budget, otherwise
+  /// one write plus one read of the whole footprint (grace partitioning and
+  /// external run formation both move everything to disk and back once at
+  /// fan-outs derived from the budget; deeper re-partitions are second-order
+  /// and ignored).
+  double SpillIo(double resident_bytes) const;
+
+  /// Bytes-per-unit weight of SpillIo, exposed for tests.
+  static constexpr double kIoPerByte = 0.01;
+
+ private:
+  uint64_t budget_;
+};
+
+}  // namespace nalq::opt
+
+#endif  // NALQ_OPT_COST_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <map>
+#include <set>
 
 #include "nal/printer.h"
 
@@ -159,6 +160,27 @@ std::vector<Alternative> Unnester::Alternatives(const nal::AlgebraPtr& plan) {
     }
     if (group_xi.has_value()) {
       out.push_back({alt.rule + "+" + group_xi->rule, group_xi->plan});
+    }
+  }
+  return out;
+}
+
+std::vector<Alternative> Unnester::AllAlternatives(const nal::AlgebraPtr& plan,
+                                                   size_t max_plans) {
+  std::vector<Alternative> out;
+  out.push_back({"nested", plan});
+  std::set<std::string> seen = {nal::PrintPlan(*plan)};
+  // Breadth-first worklist of indexes into `out` still to expand.
+  for (size_t next = 0; next < out.size() && out.size() < max_plans; ++next) {
+    const Alternative current = out[next];  // copy: out grows below
+    std::vector<Alternative> alts = Alternatives(current.plan);
+    for (size_t i = 1; i < alts.size() && out.size() < max_plans; ++i) {
+      std::string printed = nal::PrintPlan(*alts[i].plan);
+      if (!seen.insert(std::move(printed)).second) continue;
+      std::string rule = current.rule == "nested"
+                             ? alts[i].rule
+                             : current.rule + "," + alts[i].rule;
+      out.push_back({std::move(rule), alts[i].plan});
     }
   }
   return out;

@@ -30,6 +30,16 @@ class Unnester {
   /// chains the applied equivalences. Falls back to the original plan.
   Alternative Best(const nal::AlgebraPtr& plan);
 
+  /// Transitive closure of Alternatives(): every plan reachable by
+  /// repeatedly rewriting remaining sites (queries with several nested
+  /// blocks get their fully unnested combinations, rule names chained with
+  /// ","). Deduplicated structurally; breadth-first, so single-rewrite
+  /// alternatives precede chained ones and [0] stays the original nested
+  /// plan. `max_plans` bounds the enumeration on pathological inputs. This
+  /// is the search space of the cost-based chooser (opt/chooser.h).
+  std::vector<Alternative> AllAlternatives(const nal::AlgebraPtr& plan,
+                                           size_t max_plans = 48);
+
   /// Splits conjunctive selections σ_{p∧q} into σ_p(σ_q) so quantifier
   /// conjuncts become rewrite sites. Pure function, exposed for tests.
   static nal::AlgebraPtr SplitSelects(const nal::AlgebraPtr& plan);

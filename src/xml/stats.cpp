@@ -1,0 +1,176 @@
+#include "xml/stats.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace nalq::xml {
+
+namespace {
+
+/// True iff `id` has no element children (its string value is the cheap
+/// concatenation of its immediate text children — the shape of the leaf
+/// fields equality predicates compare).
+bool IsLeafElement(const Document& doc, NodeId id) {
+  for (NodeId c = doc.first_child(id); c != kNoNode; c = doc.next_sibling(c)) {
+    if (doc.kind(c) == NodeKind::kElement) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DocumentStats::DocumentStats(const Document& doc, const DocumentIndex& index)
+    : built_node_count_(doc.node_count()) {
+  // One preorder pass. The stack holds the open element ancestors of the
+  // current node as (name_id, subtree_end) — ascending NodeId is preorder,
+  // so an ancestor stays on the stack exactly while ids lie in its extent.
+  struct Open {
+    uint32_t name;
+    NodeId subtree_end;
+  };
+  std::vector<Open> ancestors;
+  for (NodeId id = 0; id < built_node_count_; ++id) {
+    while (!ancestors.empty() && id >= ancestors.back().subtree_end) {
+      ancestors.pop_back();
+    }
+    switch (doc.kind(id)) {
+      case NodeKind::kElement: {
+        uint32_t name = doc.name_id(id);
+        ++element_count_;
+        ++elements_[name];
+        NodeId parent = doc.parent(id);
+        if (parent != kNoNode && doc.kind(parent) == NodeKind::kElement) {
+          uint64_t key = PairKey(doc.name_id(parent), name);
+          uint64_t& edges = child_edges_[key];
+          if (edges == 0) parents_with_child_[key] = 0;
+          ++edges;
+        }
+        for (const Open& anc : ancestors) {
+          ++desc_edges_[PairKey(anc.name, name)];
+        }
+        ancestors.push_back({name, doc.subtree_end(id)});
+        break;
+      }
+      case NodeKind::kAttribute: {
+        ++attribute_count_;
+        ++attributes_[doc.name_id(id)];
+        NodeId parent = doc.parent(id);
+        if (parent != kNoNode) {
+          ++attr_edges_[PairKey(doc.name_id(parent), doc.name_id(id))];
+        }
+        break;
+      }
+      case NodeKind::kText:
+        ++text_node_count_;
+        break;
+      case NodeKind::kDocument:
+        break;
+    }
+  }
+
+  // ParentsWithChild: count parents contributing ≥1 edge. A second pass per
+  // distinct (parent, child) pair over the parent's occurrence list would be
+  // quadratic in pathological documents; instead walk every element once and
+  // collect its distinct child names.
+  {
+    std::vector<uint32_t> child_names;
+    for (NodeId id : index.AllElements()) {
+      child_names.clear();
+      for (NodeId c = doc.first_child(id); c != kNoNode;
+           c = doc.next_sibling(c)) {
+        if (doc.kind(c) != NodeKind::kElement) continue;
+        uint32_t n = doc.name_id(c);
+        bool seen = false;
+        for (uint32_t s : child_names) seen = seen || s == n;
+        if (!seen) {
+          child_names.push_back(n);
+          ++parents_with_child_[PairKey(doc.name_id(id), n)];
+        }
+      }
+    }
+  }
+
+  // Distinct values: exact for leaf elements, skipped (assumed all-distinct)
+  // for names that ever occur as inner nodes — their string values are whole
+  // subtrees nobody compares for equality, and concatenating them would turn
+  // this pass quadratic.
+  {
+    std::unordered_set<std::string> values;
+    std::string value;
+    for (const auto& [name, count] : elements_) {
+      std::span<const NodeId> occ = index.Elements(name);
+      bool all_leaves = true;
+      for (NodeId id : occ) {
+        if (!IsLeafElement(doc, id)) {
+          all_leaves = false;
+          break;
+        }
+      }
+      if (!all_leaves) {
+        distinct_element_values_[name] = count;
+        continue;
+      }
+      values.clear();
+      for (NodeId id : occ) {
+        value.clear();
+        for (NodeId c = doc.first_child(id); c != kNoNode;
+             c = doc.next_sibling(c)) {
+          if (doc.kind(c) == NodeKind::kText) value += doc.raw_text(c);
+        }
+        values.insert(value);
+      }
+      distinct_element_values_[name] = values.size();
+    }
+    for (const auto& [name, count] : attributes_) {
+      (void)count;
+      values.clear();
+      for (NodeId id : index.Attributes(name)) {
+        values.insert(std::string(doc.raw_text(id)));
+      }
+      distinct_attr_values_[name] = values.size();
+    }
+  }
+}
+
+uint64_t DocumentStats::ElementCount(uint32_t name_id) const {
+  auto it = elements_.find(name_id);
+  return it == elements_.end() ? 0 : it->second;
+}
+
+uint64_t DocumentStats::AttributeCount(uint32_t name_id) const {
+  auto it = attributes_.find(name_id);
+  return it == attributes_.end() ? 0 : it->second;
+}
+
+uint64_t DocumentStats::ChildEdges(uint32_t parent_name,
+                                   uint32_t child_name) const {
+  return FindOr0(child_edges_, PairKey(parent_name, child_name));
+}
+
+uint64_t DocumentStats::ParentsWithChild(uint32_t parent_name,
+                                         uint32_t child_name) const {
+  return FindOr0(parents_with_child_, PairKey(parent_name, child_name));
+}
+
+uint64_t DocumentStats::DescendantEdges(uint32_t anc_name,
+                                        uint32_t desc_name) const {
+  return FindOr0(desc_edges_, PairKey(anc_name, desc_name));
+}
+
+uint64_t DocumentStats::AttrEdges(uint32_t elem_name,
+                                  uint32_t attr_name) const {
+  return FindOr0(attr_edges_, PairKey(elem_name, attr_name));
+}
+
+uint64_t DocumentStats::DistinctElementValues(uint32_t name_id) const {
+  auto it = distinct_element_values_.find(name_id);
+  return it == distinct_element_values_.end() ? 0 : it->second;
+}
+
+uint64_t DocumentStats::DistinctAttrValues(uint32_t name_id) const {
+  auto it = distinct_attr_values_.find(name_id);
+  return it == distinct_attr_values_.end() ? 0 : it->second;
+}
+
+}  // namespace nalq::xml

@@ -43,6 +43,16 @@ DocId Store::AddDocument(Document doc) {
   indexes_[id]->ready.store(nullptr, std::memory_order_release);
   indexes_[id]->index.reset();
   indexes_[id]->retired.clear();  // writer-exclusive: no reader holds them
+  // Statistics (xml/stats.h) share the index's lifecycle.
+  if (stats_.size() <= id) {
+    stats_.reserve(documents_.size());
+    while (stats_.size() <= id) {
+      stats_.push_back(std::make_unique<StatsSlot>());
+    }
+  }
+  stats_[id]->ready.store(nullptr, std::memory_order_release);
+  stats_[id]->stats.reset();
+  stats_[id]->retired.clear();
   return id;
 }
 
@@ -66,6 +76,17 @@ void Store::PrepareForRead() const {
       // null → build-once transitions during evaluation.
       slot.ready.store(nullptr, std::memory_order_release);
       slot.retired.push_back(std::move(slot.index));
+    }
+    if (open_readers() == 0) slot.retired.clear();
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_build_mu_);
+  for (DocId id = 0; id < documents_.size() && id < stats_.size(); ++id) {
+    StatsSlot& slot = *stats_[id];
+    const DocumentStats* ready = slot.ready.load(std::memory_order_acquire);
+    if (ready != nullptr &&
+        ready->built_node_count() != documents_[id]->node_count()) {
+      slot.ready.store(nullptr, std::memory_order_release);
+      slot.retired.push_back(std::move(slot.stats));
     }
     if (open_readers() == 0) slot.retired.clear();
   }
@@ -94,6 +115,29 @@ const DocumentIndex& Store::index(DocId id) const {
     if (slot.index != nullptr) slot.retired.push_back(std::move(slot.index));
     slot.index = std::make_unique<DocumentIndex>(doc);
     ready = slot.index.get();
+    slot.ready.store(ready, std::memory_order_release);
+  }
+  return *ready;
+}
+
+const DocumentStats& Store::stats(DocId id) const {
+  assert(id < stats_.size());
+  StatsSlot& slot = *stats_[id];
+  const Document& doc = *documents_[id];
+  const DocumentStats* ready = slot.ready.load(std::memory_order_acquire);
+  if (ready != nullptr && ready->built_node_count() == doc.node_count()) {
+    return *ready;
+  }
+  // Force the index build before taking the stats mutex (index() takes its
+  // own build mutex; nesting the two would order them arbitrarily across
+  // call sites).
+  const DocumentIndex& idx = index(id);
+  std::lock_guard<std::mutex> lock(stats_build_mu_);
+  ready = slot.ready.load(std::memory_order_acquire);
+  if (ready == nullptr || ready->built_node_count() != doc.node_count()) {
+    if (slot.stats != nullptr) slot.retired.push_back(std::move(slot.stats));
+    slot.stats = std::make_unique<DocumentStats>(doc, idx);
+    ready = slot.stats.get();
     slot.ready.store(ready, std::memory_order_release);
   }
   return *ready;

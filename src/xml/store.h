@@ -34,6 +34,7 @@
 
 #include "xml/index.h"
 #include "xml/node.h"
+#include "xml/stats.h"
 
 namespace nalq::xml {
 
@@ -77,6 +78,15 @@ class Store {
   /// writer (AddDocument) or lease boundary, both reader-free by contract.
   const DocumentIndex& index(DocId id) const;
 
+  /// The document's cardinality statistics (xml/stats.h), built lazily on
+  /// first use by the cost-based optimizer (src/opt/) and cached alongside
+  /// the index with the same lifecycle: AddDocument invalidates the slot,
+  /// a stale build (document mutated afterwards) is rebuilt here, the built
+  /// statistics are published through an atomic pointer and cold builds are
+  /// serialized by a build mutex. Building statistics forces the index
+  /// build first (the value scans walk the occurrence lists).
+  const DocumentStats& stats(DocId id) const;
+
   /// Lease-boundary stale repair (see the file comment): pre-sizes every
   /// document's string-value memo, drops stale index slots and reclaims
   /// retired indexes. Called by StoreReadLease; must not run concurrently
@@ -109,12 +119,22 @@ class Store {
     std::vector<std::unique_ptr<DocumentIndex>> retired;
   };
 
+  /// One lazily built statistics set, same publication discipline as
+  /// IndexSlot (atomic ready pointer, retirement until a reader-free point).
+  struct StatsSlot {
+    std::unique_ptr<DocumentStats> stats;
+    std::atomic<const DocumentStats*> ready{nullptr};
+    std::vector<std::unique_ptr<DocumentStats>> retired;
+  };
+
   std::vector<std::unique_ptr<Document>> documents_;
   std::unordered_map<std::string, DocId> by_name_;
-  // Slot pointers are stable; the vector itself only grows inside
-  // AddDocument (writer-exclusive), so readers may index it freely.
+  // Slot pointers are stable; the vectors themselves only grow inside
+  // AddDocument (writer-exclusive), so readers may index them freely.
   mutable std::vector<std::unique_ptr<IndexSlot>> indexes_;
+  mutable std::vector<std::unique_ptr<StatsSlot>> stats_;
   mutable std::mutex index_build_mu_;
+  mutable std::mutex stats_build_mu_;
   mutable std::atomic<int> open_readers_{0};
 };
 

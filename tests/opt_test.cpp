@@ -1,0 +1,348 @@
+// Cost-based optimizer tests: statistics exactness, estimator properties
+// (exact cardinalities on index-resolvable paths, monotonicity under
+// selections, budget awareness) and the PlanChoice differential — kCost
+// output must stay byte-identical to kRulePriority on every paper query
+// under every executor.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "opt/cardinality.h"
+#include "opt/chooser.h"
+#include "xml/stats.h"
+
+namespace nalq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DocumentStats
+// ---------------------------------------------------------------------------
+
+TEST(DocumentStatsTest, CountsAndFanOutAreExact) {
+  xml::Store store;
+  xml::DocId id = store.AddDocumentText("t.xml", R"(
+    <bib>
+      <book year="1994"><title>A</title><author>x</author><author>y</author></book>
+      <book year="2000"><title>B</title><author>x</author></book>
+      <note>misc</note>
+    </bib>)");
+  const xml::Document& doc = store.document(id);
+  const xml::DocumentStats& stats = store.stats(id);
+
+  auto name = [&](const char* s) { return doc.names().Find(s); };
+  EXPECT_EQ(stats.ElementCount(name("book")), 2u);
+  EXPECT_EQ(stats.ElementCount(name("author")), 3u);
+  EXPECT_EQ(stats.ElementCount(name("nope")), 0u);
+  EXPECT_EQ(stats.element_count(), 9u);  // bib + 2 book + 2 title + 3 author + note
+
+  // Child fan-out: author children of book elements.
+  EXPECT_EQ(stats.ChildEdges(name("book"), name("author")), 3u);
+  EXPECT_EQ(stats.ParentsWithChild(name("book"), name("author")), 2u);
+  EXPECT_EQ(stats.ChildEdges(name("bib"), name("book")), 2u);
+  EXPECT_EQ(stats.ChildEdges(name("bib"), name("author")), 0u);
+
+  // Descendant fan-out counts through intermediate levels.
+  EXPECT_EQ(stats.DescendantEdges(name("bib"), name("author")), 3u);
+  EXPECT_EQ(stats.DescendantEdges(name("book"), name("title")), 2u);
+
+  // Attributes.
+  EXPECT_EQ(stats.AttributeCount(name("year")), 2u);
+  EXPECT_EQ(stats.AttrEdges(name("book"), name("year")), 2u);
+  EXPECT_EQ(stats.DistinctAttrValues(name("year")), 2u);
+
+  // Distinct leaf-element values: author ∈ {x, y}.
+  EXPECT_EQ(stats.DistinctElementValues(name("author")), 2u);
+  EXPECT_EQ(stats.DistinctElementValues(name("title")), 2u);
+}
+
+TEST(DocumentStatsTest, ElementCountFixup) {
+  // The count above spelled out: bib + 2·book + 2·title + 3·author + note.
+  xml::Store store;
+  xml::DocId id = store.AddDocumentText("t.xml", "<a><b/><b/></a>");
+  EXPECT_EQ(store.stats(id).element_count(), 3u);
+}
+
+TEST(DocumentStatsTest, StoreCachesAndInvalidates) {
+  xml::Store store;
+  xml::DocId id = store.AddDocumentText("t.xml", "<a><b/></a>");
+  const xml::DocumentStats* first = &store.stats(id);
+  EXPECT_EQ(first, &store.stats(id)) << "second access must hit the cache";
+  // Replacing the document drops the slot and rebuilds.
+  store.AddDocumentText("t.xml", "<a><b/><b/><b/></a>");
+  const xml::DocumentStats& rebuilt = store.stats(id);
+  EXPECT_EQ(rebuilt.ElementCount(store.document(id).names().Find("b")), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimator
+// ---------------------------------------------------------------------------
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::BibOptions bib;
+    bib.books = 120;
+    bib.authors_per_book = 3;
+    engine_.AddDocument("bib.xml", datagen::GenerateBib(bib));
+    engine_.RegisterDtd("bib.xml", datagen::kBibDtd);
+  }
+
+  double EstimateRows(const std::string& query) {
+    engine::CompiledQuery q = engine_.Compile(query);
+    opt::CostModel model;
+    opt::CardinalityEstimator estimator(engine_.store(), model);
+    return estimator.EstimatePlan(*q.nested_plan).rows;
+  }
+
+  size_t Count(const char* tag) {
+    xml::DocId id = *engine_.store().Find("bib.xml");
+    return engine_.store().document(id).CountElements(tag);
+  }
+
+  engine::Engine engine_;
+};
+
+TEST_F(EstimatorTest, DescendantStepFromDocRootIsExact) {
+  double rows = EstimateRows(R"(
+    let $d := doc("bib.xml")
+    for $b in $d//book
+    return $b)");
+  EXPECT_DOUBLE_EQ(rows, static_cast<double>(Count("book")));
+}
+
+TEST_F(EstimatorTest, ChainedChildStepIsExact) {
+  // Every author element in bib.xml is a child of a book, so the chained
+  // //book/author walk resolves to the exact author count.
+  double rows = EstimateRows(R"(
+    let $d := doc("bib.xml")
+    for $b in $d//book
+    for $a in $b/author
+    return $a)");
+  EXPECT_DOUBLE_EQ(rows, static_cast<double>(Count("author")));
+}
+
+TEST_F(EstimatorTest, MissingNameEstimatesZero) {
+  EXPECT_DOUBLE_EQ(EstimateRows(R"(
+    let $d := doc("bib.xml")
+    for $x in $d//no-such-element
+    return $x)"),
+                   0.0);
+}
+
+TEST_F(EstimatorTest, SelectionIsMonotone) {
+  const char* base = R"(
+    let $d := doc("bib.xml")
+    for $b in $d//book
+    return $b)";
+  const char* filtered = R"(
+    let $d := doc("bib.xml")
+    for $b in $d//book
+    where $b/@year > 1993
+    return $b)";
+  double all = EstimateRows(base);
+  double some = EstimateRows(filtered);
+  EXPECT_GT(all, 0);
+  EXPECT_LE(some, all) << "σ must never increase the row estimate";
+  EXPECT_GT(some, 0) << "default selectivities must not zero the stream";
+}
+
+TEST_F(EstimatorTest, BudgetChargesSpillIo) {
+  engine::CompiledQuery q = engine_.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author><name>{ $a1 }</name>
+      { let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title }
+      </author>)");
+  const rewrite::Alternative* grouping = q.Find("eqv5-grouping");
+  ASSERT_NE(grouping, nullptr);
+
+  opt::CostModel unlimited(0);
+  opt::CardinalityEstimator e1(engine_.store(), unlimited);
+  opt::PlanEstimate free = e1.EstimatePlan(*grouping->plan);
+  EXPECT_DOUBLE_EQ(free.io_cost, 0.0);
+  EXPECT_GT(free.peak_breaker_bytes, 0.0);
+
+  // A budget below the estimated breaker footprint must charge I/O and
+  // raise the total cost.
+  opt::CostModel tiny(1024);
+  opt::CardinalityEstimator e2(engine_.store(), tiny);
+  opt::PlanEstimate spilling = e2.EstimatePlan(*grouping->plan);
+  EXPECT_GT(spilling.io_cost, 0.0);
+  EXPECT_GT(spilling.total_cost(), free.total_cost());
+  EXPECT_DOUBLE_EQ(spilling.rows, free.rows)
+      << "the budget affects cost, never cardinality";
+}
+
+TEST_F(EstimatorTest, NestedPlanCostsMoreThanUnnested) {
+  engine::CompiledQuery q = engine_.Compile(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author><name>{ $a1 }</name>
+      { let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title }
+      </author>)");
+  ASSERT_GE(q.alternatives.size(), 2u);
+  ASSERT_EQ(q.estimates.size(), q.alternatives.size());
+  double nested = q.estimates[0].total_cost();
+  for (size_t i = 1; i < q.estimates.size(); ++i) {
+    EXPECT_LT(q.estimates[i].total_cost(), nested)
+        << "unnested alternative not cheaper: " << q.alternatives[i].rule;
+  }
+  EXPECT_NE(q.cost_choice, 0u) << "cost choice must not pick the nested plan";
+}
+
+// ---------------------------------------------------------------------------
+// PlanChoice differential: Q1–Q6 × policies × executors, byte-identical
+// ---------------------------------------------------------------------------
+
+class PlanChoiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    size_t n = 40;
+    datagen::BibOptions bib;
+    bib.books = n;
+    bib.authors_per_book = 3;
+    engine_.AddDocument("bib.xml", datagen::GenerateBib(bib));
+    engine_.RegisterDtd("bib.xml", datagen::kBibDtd);
+    engine_.AddDocument("reviews.xml", datagen::GenerateReviews(n));
+    engine_.RegisterDtd("reviews.xml", datagen::kReviewsDtd);
+    engine_.AddDocument("prices.xml", datagen::GeneratePrices(n));
+    engine_.RegisterDtd("prices.xml", datagen::kPricesDtd);
+    datagen::AuctionOptions auction;
+    auction.bids = n + n / 2;
+    engine_.AddDocument("bids.xml", datagen::GenerateBids(auction));
+    engine_.RegisterDtd("bids.xml", datagen::kBidsDtd);
+  }
+
+  void CheckChoicesAgree(const std::string& query) {
+    engine::CompiledQuery cost =
+        engine_.Compile(query, engine::PlanChoice::kCost);
+    engine::CompiledQuery prio =
+        engine_.Compile(query, engine::PlanChoice::kRulePriority);
+    engine::CompiledQuery manual =
+        engine_.Compile(query, engine::PlanChoice::kManual);
+    EXPECT_EQ(manual.best.rule, "nested");
+    ASSERT_EQ(cost.estimates.size(), cost.alternatives.size());
+
+    std::string reference = engine_.Run(manual.best.plan).output;
+    ASSERT_FALSE(reference.empty());
+    for (engine::ExecMode mode :
+         {engine::ExecMode::kStreaming, engine::ExecMode::kMaterializing,
+          engine::ExecMode::kParallel}) {
+      EXPECT_EQ(engine_.Run(cost.best.plan, mode).output, reference)
+          << "kCost diverged (" << cost.best.rule << ")";
+      EXPECT_EQ(engine_.Run(prio.best.plan, mode).output, reference)
+          << "kRulePriority diverged (" << prio.best.rule << ")";
+    }
+    // Both policies must unnest: the estimator exists to avoid the nested
+    // plan's quadratic subscript evaluation.
+    EXPECT_NE(cost.best.rule, "nested");
+    EXPECT_EQ(engine_.Run(cost.best.plan).stats.nested_alg_evals, 0u);
+  }
+
+  engine::Engine engine_;
+};
+
+TEST_F(PlanChoiceTest, Q1Grouping) {
+  CheckChoicesAgree(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author><name>{ $a1 }</name>
+      { let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title }
+      </author>)");
+}
+
+TEST_F(PlanChoiceTest, Q2Aggregation) {
+  CheckChoicesAgree(R"(
+    let $d1 := doc("prices.xml")
+    for $t1 in distinct-values($d1//book/title)
+    let $p1 := let $d2 := doc("prices.xml")
+               for $b2 in $d2//book
+               let $t2 := $b2/title
+               let $p2 := $b2/price
+               let $c2 := decimal($p2)
+               where $t1 = $t2
+               return $c2
+    return <minprice title="{ $t1 }"><price>{ min($p1) }</price></minprice>)");
+}
+
+TEST_F(PlanChoiceTest, Q3Existential) {
+  CheckChoicesAgree(R"(
+    let $d1 := document("bib.xml")
+    for $t1 in $d1//book/title
+    where some $t2 in document("reviews.xml")//entry/title
+          satisfies $t1 = $t2
+    return <book-with-review>{ $t1 }</book-with-review>)");
+}
+
+TEST_F(PlanChoiceTest, Q4ExistsCount) {
+  CheckChoicesAgree(R"(
+    let $d1 := doc("bib.xml")
+    for $b1 in $d1//book,
+        $a1 in $b1/author
+    where exists(
+      for $b2 in $d1//book
+      for $a2 in $b2/author
+      where contains($a2, "Suciu") and $b1 = $b2
+      return $b2)
+    return <book>{ $a1 }</book>)");
+}
+
+TEST_F(PlanChoiceTest, Q5Universal) {
+  CheckChoicesAgree(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    where every $b2 in doc("bib.xml")//book[author = $a1]
+          satisfies $b2/@year > 1993
+    return <new-author>{ $a1 }</new-author>)");
+}
+
+TEST_F(PlanChoiceTest, Q6Having) {
+  CheckChoicesAgree(R"(
+    let $d1 := document("bids.xml")
+    for $i1 in distinct-values($d1//itemno)
+    where count($d1//bidtuple[itemno = $i1]) >= 3
+    return <popular-item>{ $i1 }</popular-item>)");
+}
+
+TEST_F(PlanChoiceTest, ChooserTieBreaksByRulePriority) {
+  // An empty store gives every alternative a default-built estimate, so the
+  // chooser must degrade to exactly the rule-priority policy.
+  engine::Engine empty;
+  const std::string query = R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author><name>{ $a1 }</name>
+      { let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title }
+      </author>)";
+  engine::CompiledQuery cost = empty.Compile(query, engine::PlanChoice::kCost);
+  EXPECT_NE(cost.best.rule, "nested");
+}
+
+TEST_F(PlanChoiceTest, RunQueryUsesCostChoiceByDefault) {
+  engine::RunResult r = engine_.RunQuery(R"(
+    let $d1 := doc("bib.xml")
+    for $a1 in distinct-values($d1//author)
+    return
+      <author><name>{ $a1 }</name>
+      { let $d2 := doc("bib.xml")
+        for $b2 in $d2//book[$a1 = author]
+        return $b2/title }
+      </author>)");
+  EXPECT_FALSE(r.output.empty());
+  EXPECT_EQ(r.stats.nested_alg_evals, 0u);
+}
+
+}  // namespace
+}  // namespace nalq

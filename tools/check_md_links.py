@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (CI docs job).
+
+Walks every tracked *.md file and verifies that each relative link target
+— `[text](path)` and bare `path#anchor` forms — exists on disk relative to
+the file containing it. External links (http/https/mailto) are not fetched;
+CI must not depend on third-party availability. Exits non-zero with one
+line per broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = files = 0
+    for path in sorted(md_files(root)):
+        files += 1
+        text = open(path, encoding="utf-8").read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append(
+                    f"{os.path.relpath(path, root)}: broken link -> {target}")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} relative link(s) in {files} markdown file(s); "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Estimated-vs-measured comparison over BENCH_results.json (PR 5).
+
+For every experiment and document size, pairs the optimizer's
+mode="estimate" records with the measured streaming/indexed/unlimited
+timings and reports, per plan: measured seconds, estimated cost, and
+whether the cost-based choice picked the empirically fastest *enumerated*
+alternative (E4's hand-built single-scan plan is measured but not an
+unnesting alternative, so it cannot be chosen).
+
+Usage: tools/compare_estimates.py [path/to/BENCH_results.json]
+"""
+
+import json
+import sys
+
+# Measured plan label -> (required substring, excluded substring) of the
+# rewrite rule naming that plan. The exclusion disambiguates a base rule
+# from its chained derivatives ("eqv7-antijoin" vs
+# "eqv7-antijoin+eqv9-counting").
+LABEL_RULES = {
+    "E1": {"nested": ("nested", None),
+           "outer join": ("eqv4-outerjoin", None),
+           "grouping": ("eqv5-grouping", "group-xi"),
+           "group Xi": ("group-xi", None)},
+    "E1b": {"nested": ("nested", None),
+            "outer join": ("eqv4-outerjoin", None),
+            "nest-join": ("eqv1-nestjoin", None)},
+    "E2": {"nested": ("nested", None),
+           "grouping": ("eqv3-grouping", None),
+           "outer join": ("eqv2-outerjoin", None),
+           "nest-join": ("eqv1-nestjoin", None)},
+    "E3": {"nested": ("nested", None),
+           "semijoin": ("eqv6-semijoin", None)},
+    "E4": {"nested": ("nested", None),
+           "semijoin": ("eqv6-semijoin", None)},
+    "E5": {"nested": ("nested", None),
+           "anti-semijoin": ("eqv7-antijoin", "eqv9-counting"),
+           "grouping": ("eqv9-counting", None)},
+    "E6": {"nested": ("nested", None),
+           "grouping": ("eqv3-grouping", None)},
+}
+
+
+def rule_matches(pattern, full_rule):
+    contain, exclude = pattern
+    if contain == "nested":
+        return full_rule == "nested"
+    if contain not in full_rule:
+        return False
+    return exclude is None or exclude not in full_rule
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_results.json"
+    records = json.load(open(path))
+    benches = sorted({r["bench"] for r in records if r["mode"] == "estimate"})
+    agree = total = 0
+    for bench in benches:
+        sizes = sorted({int(r["size"]) for r in records
+                        if r["bench"] == bench and r["mode"] == "estimate"})
+        size = str(sizes[-1])  # the largest = paper scale
+        est = [r for r in records if r["bench"] == bench
+               and r["mode"] == "estimate" and r["size"] == size]
+        measured = [r for r in records if r["bench"] == bench
+                    and r["size"] == size and r["mode"] == "streaming"
+                    and r["path"] == "indexed" and r["budget"] == 0]
+        # Parameterized tables (E1's authors/book sweep) measure each plan
+        # several times; compare within one parameter setting — the
+        # numerically smallest, which is the first the bench compiled and
+        # therefore the document the (deduplicated) estimate records were
+        # built against. A lexicographic sort would pick "10" over "2" and
+        # pair estimates with timings from a different document.
+        params = sorted({r["parameter"] for r in measured},
+                        key=lambda p: int(p) if p.isdigit() else -1)
+        if params:
+            measured = [r for r in measured if r["parameter"] == params[0]]
+        chosen = next(r["plan"] for r in est if r["chosen_by_cost"] == 1)
+        labels = LABEL_RULES.get(bench, {})
+        rows = []
+        fastest_label = None
+        fastest_s = None
+        for m in measured:
+            rule = labels.get(m["plan"])
+            e = next((r for r in est
+                      if rule and rule_matches(rule, r["plan"])), None)
+            rows.append((m["plan"], m["seconds"],
+                         e["est_cost"] if e else None,
+                         e["plan"] if e else "(not an alternative)"))
+            if rule is not None and (fastest_s is None
+                                     or m["seconds"] < fastest_s):
+                fastest_s = m["seconds"]
+                fastest_label = m["plan"]
+        picked_fastest = (fastest_label is not None and
+                          rule_matches(labels[fastest_label], chosen))
+        total += 1
+        agree += picked_fastest
+        print(f"\n{bench} @ size {size}  (cost choice: {chosen}"
+              f"{'  == fastest' if picked_fastest else '  != fastest'})")
+        for plan, secs, cost, rule in sorted(rows, key=lambda r: r[1]):
+            cost_s = f"{cost:14.1f}" if cost is not None else "             -"
+            print(f"  {plan:14s} {secs:9.4f}s  est_cost {cost_s}  {rule}")
+    print(f"\ncost-based choice picked the fastest enumerated alternative on "
+          f"{agree}/{total} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
