@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <set>
@@ -33,6 +34,50 @@ double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
 }
 
 }  // namespace
+
+double TimeCancelRecorded(const engine::Engine& engine,
+                          const nal::AlgebraPtr& plan,
+                          const std::string& bench,
+                          const std::string& plan_label,
+                          const std::string& size, unsigned fuse_ms) {
+  nal::QueryControl control;
+  // Nanosecond timestamp of the cancel request; atomic so the measuring
+  // thread may read it without racing the canceller.
+  std::atomic<int64_t> cancel_at_ns{0};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fuse_ms));
+    cancel_at_ns.store(std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count(),
+                       std::memory_order_release);
+    control.RequestCancel();
+  });
+  bool cancelled = false;
+  try {
+    engine.Run(plan, engine::ExecMode::kStreaming, engine::PathMode::kIndexed,
+               /*threads=*/0, /*memory_budget_bytes=*/0, /*deadline_ms=*/0,
+               &control);
+  } catch (const engine::Error& e) {
+    cancelled = e.code() == engine::ErrorCode::kCancelled;
+  }
+  auto end = std::chrono::steady_clock::now();
+  canceller.join();
+  if (!cancelled) return -1;  // finished before the fuse: nothing to report
+  double latency = std::chrono::duration<double>(
+                       end.time_since_epoch() -
+                       std::chrono::steady_clock::duration(
+                           cancel_at_ns.load(std::memory_order_acquire)))
+                       .count();
+  BenchRecord r;
+  r.bench = bench;
+  r.plan = plan_label;
+  r.size = size;
+  r.mode = "cancel";
+  r.path = "indexed";
+  r.seconds = latency;
+  RecordBench(std::move(r));
+  return latency;
+}
 
 double TimePlan(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                 int repeats, engine::ExecMode mode,

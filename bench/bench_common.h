@@ -79,6 +79,19 @@ double TimePlanRecorded(const engine::Engine& engine,
                         const std::string& parameter, const std::string& size,
                         int repeats = 3);
 
+/// Measures cancellation latency: starts the plan under a shared
+/// QueryControl token, requests cancellation from another thread after
+/// `fuse_ms`, and records one mode="cancel" BenchRecord whose `seconds` is
+/// the cancel-request → return latency (the query-lifecycle bound the
+/// robustness tests assert; see src/nal/README.md). Returns that latency,
+/// or a negative value when the plan finished before the fuse — in which
+/// case nothing is recorded (the measurement would be meaningless).
+double TimeCancelRecorded(const engine::Engine& engine,
+                          const nal::AlgebraPtr& plan,
+                          const std::string& bench,
+                          const std::string& plan_label,
+                          const std::string& size, unsigned fuse_ms = 10);
+
 /// Records the optimizer's view of one compiled query under experiment
 /// `bench`: one mode="estimate" record per alternative, carrying the rule
 /// name as the plan label, est_cost/est_rows from CompiledQuery::estimates

@@ -10,7 +10,10 @@
 // DBLP-like document (the condition checker at work), and (b) reproduces
 // the outer-join-vs-nested contrast on a DBLP-like document scaled to the
 // time budget.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "bench_common.h"
 
@@ -30,10 +33,75 @@ const char kQuery[] = R"(
     </author>
 )";
 
+/// Auto-created spool directories currently in the system temp dir — the
+/// temp-file leak probe for the deadline smoke.
+size_t SpoolDirsInTemp() {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    if (entry.path().filename().string().rfind("nalq-spool-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+/// --deadline-smoke: CI's query-lifecycle assertion (see
+/// .github/workflows/ci.yml). A 50 ms deadline on the E1b 50k outer-join
+/// run — which takes orders of magnitude longer — must surface
+/// engine::Error(kDeadlineExceeded) promptly and leak no temp files.
+int RunDeadlineSmoke() {
+  using namespace nalq;
+  engine::Engine engine;
+  datagen::DblpOptions options;
+  options.publications = 50000;
+  engine.AddDocument("dblp.xml", datagen::GenerateDblp(options));
+  engine.RegisterDtd("dblp.xml", datagen::kDblpDtd);
+  engine::CompiledQuery q = engine.Compile(kQuery);
+  const rewrite::Alternative* oj = q.Find("eqv4-outerjoin");
+  if (oj == nullptr) {
+    std::printf("ERROR: outer-join plan missing\n");
+    return 1;
+  }
+  size_t dirs_before = SpoolDirsInTemp();
+  auto start = std::chrono::steady_clock::now();
+  try {
+    engine.Run(oj->plan, engine::ExecMode::kStreaming,
+               engine::PathMode::kIndexed, /*threads=*/0,
+               /*memory_budget_bytes=*/1u << 20, /*deadline_ms=*/50);
+    std::printf("ERROR: the 50 ms deadline never fired\n");
+    return 1;
+  } catch (const engine::Error& e) {
+    if (e.code() != engine::ErrorCode::kDeadlineExceeded) {
+      std::printf("ERROR: wrong error code: %s\n", e.what());
+      return 1;
+    }
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  if (elapsed > 30.0) {
+    std::printf("ERROR: deadline return took %.1f s — not bounded\n",
+                elapsed);
+    return 1;
+  }
+  if (SpoolDirsInTemp() != dirs_before) {
+    std::printf("ERROR: deadline unwind leaked a spool directory\n");
+    return 1;
+  }
+  std::printf(
+      "deadline smoke: kDeadlineExceeded after %.3f s, no temp-file leak\n",
+      elapsed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nalq;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deadline-smoke") == 0) {
+      return RunDeadlineSmoke();
+    }
+  }
   bool full = bench::FullRuns(argc, argv);
   const std::vector<size_t> sizes = {1000, 10000, full ? 100000u : 50000u};
   std::printf(
@@ -78,6 +146,17 @@ int main(int argc, char** argv) {
     rows[1].cells.push_back(bench::FormatSeconds(
         bench::TimePlanRecorded(engine, oj->plan, "E1b", "outer join", "",
                                 std::to_string(size))));
+    if (size == sizes.back()) {
+      // Query-lifecycle observability: mid-run cancellation latency on the
+      // largest run, recorded as a mode="cancel" record.
+      double latency = bench::TimeCancelRecorded(engine, oj->plan, "E1b",
+                                                 "outer join",
+                                                 std::to_string(size));
+      if (latency >= 0) {
+        std::printf("cancel latency at %zu publications: %.4f s\n", size,
+                    latency);
+      }
+    }
     // The cost-based chooser prefers the nest-join (Eqv. 1) on DBLP — one
     // Γ probe per author instead of outer join + Γ + Π̄ — so measure it
     // next to the static ranking's outer-join pick (see EXPERIMENTS.md).

@@ -69,11 +69,26 @@ CompiledQuery Engine::Compile(std::string_view query_text, PlanChoice choice,
 
 RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
                       PathMode path_mode, unsigned threads,
-                      uint64_t memory_budget_bytes) const {
+                      uint64_t memory_budget_bytes, uint64_t deadline_ms,
+                      nal::QueryControl* control) const {
   nal::Evaluator evaluator(store_);
   evaluator.set_path_mode(path_mode == PathMode::kIndexed
                               ? xml::PathEvalMode::kIndexed
                               : xml::PathEvalMode::kScan);
+  // Lifecycle wiring: an explicit deadline wins, the NALQ_DEADLINE_MS
+  // environment default applies otherwise (mirroring the budget knob). A
+  // deadline without a caller token gets a run-local one; the token is
+  // shared by pointer with every executor thread (see nal/query_control.h).
+  nal::QueryControl local_control;
+  uint64_t effective_deadline =
+      deadline_ms != 0 ? deadline_ms : nal::QueryControl::EnvDeadlineMs();
+  if (control == nullptr && effective_deadline != 0) {
+    control = &local_control;
+  }
+  if (control != nullptr && effective_deadline != 0) {
+    control->SetDeadlineMs(effective_deadline);
+  }
+  evaluator.set_control(control);
   switch (mode) {
     case ExecMode::kStreaming: {
       if (memory_budget_bytes != 0) {
@@ -103,8 +118,9 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
 
 RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
                            PathMode path_mode, unsigned threads,
-                           uint64_t memory_budget_bytes,
-                           PlanChoice choice) const {
+                           uint64_t memory_budget_bytes, PlanChoice choice,
+                           uint64_t deadline_ms,
+                           nal::QueryControl* control) const {
   // Resolve the budget the executors will actually run under so the plan
   // choice sees it too (a build side that spills at run time should be
   // charged for it at choice time).
@@ -112,7 +128,8 @@ RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
                                   ? memory_budget_bytes
                                   : nal::SpoolContext::EnvBudgetBytes();
   CompiledQuery q = Compile(query_text, choice, effective_budget);
-  return Run(q.best.plan, mode, path_mode, threads, memory_budget_bytes);
+  return Run(q.best.plan, mode, path_mode, threads, memory_budget_bytes,
+             deadline_ms, control);
 }
 
 }  // namespace nalq::engine

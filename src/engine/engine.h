@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/error.h"
 #include "nal/eval.h"
+#include "nal/query_control.h"
 #include "opt/cost.h"
 #include "rewrite/unnester.h"
 #include "xml/dtd.h"
@@ -136,22 +138,39 @@ class Engine {
   /// distinct-key set). Under kParallel one shared accountant bounds the
   /// consumer and all workers, and the worker count is clamped so
   /// uncharged per-worker state cannot over-commit it (nal/exchange.h).
+  ///
+  /// Lifecycle knobs (src/nal/README.md, "Query lifecycle & failure
+  /// semantics"): `deadline_ms` bounds the run on the monotonic clock — on
+  /// expiry the run unwinds with engine::Error(kDeadlineExceeded), all temp
+  /// files deleted and every budget byte released. 0 means no deadline
+  /// unless the NALQ_DEADLINE_MS environment variable supplies a default.
+  /// `control` shares a caller-owned cancellation token with the run
+  /// (RequestCancel from any thread aborts it with kCancelled); when null
+  /// but a deadline is active, Run wires an internal token. The token must
+  /// outlive the call; a deadline_ms is armed on whichever token is used.
   RunResult Run(const nal::AlgebraPtr& plan,
                 ExecMode mode = ExecMode::kStreaming,
                 PathMode path_mode = PathMode::kIndexed,
                 unsigned threads = 0,
-                uint64_t memory_budget_bytes = 0) const;
+                uint64_t memory_budget_bytes = 0,
+                uint64_t deadline_ms = 0,
+                nal::QueryControl* control = nullptr) const;
 
   /// Convenience: compile with unnesting and run the best plan. Plan choice
   /// is cost-based (see PlanChoice::kCost) and budget-aware: the effective
   /// budget — the argument, or the NALQ_MEMORY_BUDGET_BYTES environment
   /// default when 0 — feeds the cost model before it gates the executor.
+  /// `deadline_ms`/`control` govern the execution phase exactly as on Run
+  /// (compilation is not deadline-bounded; it does no I/O and is orders of
+  /// magnitude shorter than any run worth cancelling).
   RunResult RunQuery(std::string_view query_text,
                      ExecMode mode = ExecMode::kStreaming,
                      PathMode path_mode = PathMode::kIndexed,
                      unsigned threads = 0,
                      uint64_t memory_budget_bytes = 0,
-                     PlanChoice choice = PlanChoice::kCost) const;
+                     PlanChoice choice = PlanChoice::kCost,
+                     uint64_t deadline_ms = 0,
+                     nal::QueryControl* control = nullptr) const;
 
  private:
   xml::Store store_;

@@ -1,0 +1,75 @@
+#include "engine/error.h"
+
+#include <cstring>
+
+namespace nalq::engine {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCancelled:
+      return "kCancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case ErrorCode::kSpoolIo:
+      return "kSpoolIo";
+    case ErrorCode::kBudgetExhausted:
+      return "kBudgetExhausted";
+    case ErrorCode::kPlanError:
+      return "kPlanError";
+  }
+  return "kUnknown";
+}
+
+Error::Error(ErrorCode code, std::string message, int sys_errno,
+             std::string path, std::string context)
+    : std::runtime_error(message),
+      code_(code),
+      message_(std::move(message)),
+      sys_errno_(sys_errno),
+      path_(std::move(path)),
+      context_(std::move(context)) {
+  RebuildWhat();
+}
+
+void Error::set_context_if_empty(const std::string& context) {
+  if (!context_.empty()) return;
+  context_ = context;
+  RebuildWhat();
+}
+
+void Error::set_op_if_empty(const std::string& op) {
+  if (!op_.empty()) return;
+  op_ = op;
+  RebuildWhat();
+}
+
+void Error::RebuildWhat() {
+  what_ = "[";
+  what_ += ErrorCodeName(code_);
+  what_ += "] ";
+  what_ += message_;
+  if (sys_errno_ != 0) {
+    what_ += ": ";
+    what_ += std::strerror(sys_errno_);
+    what_ += " (errno ";
+    what_ += std::to_string(sys_errno_);
+    what_ += ")";
+  }
+  if (!path_.empty()) {
+    what_ += " [path=";
+    what_ += path_;
+    what_ += "]";
+  }
+  if (!context_.empty()) {
+    what_ += " [in ";
+    what_ += context_;
+    what_ += "]";
+  }
+  if (!op_.empty()) {
+    what_ += " [op=";
+    what_ += op_;
+    what_ += "]";
+  }
+}
+
+}  // namespace nalq::engine

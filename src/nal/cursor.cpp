@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/error.h"
 #include "nal/analysis.h"
 #include "nal/physical.h"
 #include "nal/probe_loops.h"
@@ -577,7 +578,9 @@ class GroupBinaryCursor final : public Cursor {
     if (op_.theta == CmpOp::kEq) {
       index_.Build(right_seq_, op_.right_attrs, ctx_.ev->store());
     } else if (op_.left_attrs.size() != 1) {
-      throw std::runtime_error("theta nest-join requires a single attribute");
+      throw engine::Error(engine::ErrorCode::kPlanError,
+                          "theta nest-join requires a single attribute", 0, {},
+                          "GroupBinary");
     }
     loops_.Reset();
   }
@@ -1013,6 +1016,11 @@ uint64_t DrainStreaming(Evaluator& ev, const AlgebraOp& op,
   ev.ClearCse();
   std::optional<SpoolContext> env_spool = MakeEnvSpool(spool);
   if (env_spool.has_value()) spool = &*env_spool;
+  // The spool layer polls the run's cancellation token per temp-file record
+  // (spool.h); wire the evaluator's token in unless the caller set its own.
+  if (spool != nullptr && spool->control() == nullptr) {
+    spool->set_control(ev.control());
+  }
   Tuple env;
   ExecContext ctx{&ev, &env, stream,
                   spool != nullptr && spool->enabled() ? spool : nullptr};
@@ -1031,6 +1039,9 @@ Sequence ExecuteStreaming(Evaluator& ev, const AlgebraOp& op,
   ev.ClearCse();
   std::optional<SpoolContext> env_spool = MakeEnvSpool(spool);
   if (env_spool.has_value()) spool = &*env_spool;
+  if (spool != nullptr && spool->control() == nullptr) {
+    spool->set_control(ev.control());
+  }
   Tuple env;
   ExecContext ctx{&ev, &env, stream,
                   spool != nullptr && spool->enabled() ? spool : nullptr};

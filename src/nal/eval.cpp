@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "engine/error.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -159,6 +160,10 @@ Value Evaluator::EvalExpr(const Expr& e, const Tuple& local,
 
 bool Evaluator::EvalPred(const Expr& e, const Tuple& local, const Tuple& env) {
   ++stats_.predicate_evals;
+  // Cancellation point: selections over wide inputs evaluate predicates far
+  // more often than they produce tuples, so the bounded-interval guarantee
+  // needs a check here too.
+  CheckInterrupt();
   return EffectiveBooleanValue(EvalExpr(e, local, env));
 }
 
@@ -483,6 +488,10 @@ Value Evaluator::EvalPathExpr(const Expr& e, const Tuple& local,
 // ---------------------------------------------------------------------------
 
 Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
+  // Cancellation point: nested subscripts re-enter EvalOp once per outer
+  // tuple, so a runaway nested-loop plan in the materializing evaluator
+  // polls here even when its operators produce nothing.
+  CheckInterrupt();
   if (op.cse_id >= 0 && env.empty()) {
     if (const Sequence* cached = CseFind(op.cse_id)) return *cached;
   }
@@ -854,7 +863,9 @@ Sequence Evaluator::EvalGroupUnary(const AlgebraOp& op, const Tuple& env) {
     } else {
       // θ-grouping: group for key v = σ_{v θ A}(e).
       if (op.left_attrs.size() != 1) {
-        throw std::runtime_error("theta-grouping requires a single attribute");
+        throw engine::Error(engine::ErrorCode::kPlanError,
+                            "theta-grouping requires a single attribute", 0,
+                            {}, "GroupUnary");
       }
       for (const Tuple& u : input) {
         if (GeneralCompare(op.theta, key.values[0], u.Get(op.left_attrs[0]))) {
@@ -894,7 +905,9 @@ Sequence Evaluator::EvalGroupBinary(const AlgebraOp& op, const Tuple& env) {
     return out;
   }
   if (op.left_attrs.size() != 1) {
-    throw std::runtime_error("theta nest-join requires a single attribute");
+    throw engine::Error(engine::ErrorCode::kPlanError,
+                        "theta nest-join requires a single attribute", 0, {},
+                        "GroupBinary");
   }
   for (Tuple& l : left) {
     Sequence group;

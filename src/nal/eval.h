@@ -13,6 +13,7 @@
 
 #include "nal/algebra.h"
 #include "nal/physical.h"
+#include "nal/query_control.h"
 #include "xml/store.h"
 #include "xml/xpath.h"
 
@@ -128,6 +129,23 @@ class Evaluator {
   EvalStats& stats() { return stats_; }
   const xml::Store& store() const { return store_; }
 
+  /// Cancellation/deadline token for the run (nal/query_control.h), or null
+  /// for an uncontrolled run. Shared by pointer: Engine::Run wires one token
+  /// into the main evaluator and the exchange clones it onto every worker
+  /// evaluator, so a single RequestCancel stops all of them. The token must
+  /// outlive the run.
+  void set_control(QueryControl* control) { control_ = control; }
+  QueryControl* control() const { return control_; }
+
+  /// Cancellation point: throws engine::Error{kCancelled|kDeadlineExceeded}
+  /// once the run's token trips; near-free otherwise. Called per operator
+  /// evaluation, per predicate, and — via probe::CountProducedTuple — per
+  /// produced tuple, which bounds the interval between checks on every
+  /// executor (see src/nal/README.md, "Query lifecycle").
+  void CheckInterrupt() {
+    if (control_ != nullptr) control_->Poll();
+  }
+
   /// How path expressions resolve their steps (xml/xpath.h). Shared by both
   /// executors — the streaming cursors evaluate their path nodes through
   /// this evaluator's EvalExpr, so one setting governs a whole run. Results
@@ -184,6 +202,7 @@ class Evaluator {
 
   const xml::Store& store_;
   EvalStats stats_;
+  QueryControl* control_ = nullptr;
   xml::PathEvalMode path_mode_ = xml::PathEvalMode::kIndexed;
   std::string output_;
   std::unordered_map<int, Sequence> cse_cache_;

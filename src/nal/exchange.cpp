@@ -97,7 +97,15 @@ struct ExchangeState {
   std::map<uint64_t, std::vector<Tuple>> completed;
   uint64_t dispatched = 0;
   uint64_t finished = 0;
-  std::exception_ptr error;
+  /// Per-ticket worker exceptions. The consumer rethrows the error of the
+  /// LOWEST ticket it reaches — ticket order, not wall-clock arrival order —
+  /// so which of several concurrent worker failures surfaces is
+  /// deterministic (stable under TSan/any interleaving).
+  std::map<uint64_t, std::exception_ptr> errors;
+  /// Latched on the first worker failure: stops chunk dispatch, and tasks
+  /// that have not started yet skip their work (they still publish an empty
+  /// packet so the ticket/finished accounting closes and nothing hangs).
+  std::atomic<bool> abort{false};
 
   /// Pipeline pool. The dispatch window (dispatched - finished < dop)
   /// guarantees a starting task always finds an idle pipeline.
@@ -114,23 +122,31 @@ void RunChunkTask(const std::shared_ptr<ExchangeState>& state, uint64_t ticket,
     state->idle.pop_back();
   }
   std::vector<Tuple> packet;
-  try {
-    wp->leaf->Reset(std::move(tuples));
-    // Re-opening per chunk is sound precisely because segment operators are
-    // per-tuple: their Open only resets within-tuple iteration state, so
-    // the concatenation of per-chunk runs equals one run over the whole
-    // stream.
-    wp->pipeline->Open();
-    Tuple t;
-    while (wp->pipeline->Next(&t)) packet.push_back(std::move(t));
-    wp->pipeline->Close();
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(state->mu);
-    if (state->error == nullptr) state->error = std::current_exception();
+  std::exception_ptr error;
+  if (!state->abort.load(std::memory_order_acquire)) {
+    try {
+      wp->leaf->Reset(std::move(tuples));
+      // Re-opening per chunk is sound precisely because segment operators
+      // are per-tuple: their Open only resets within-tuple iteration state,
+      // so the concatenation of per-chunk runs equals one run over the
+      // whole stream.
+      wp->pipeline->Open();
+      Tuple t;
+      while (wp->pipeline->Next(&t)) packet.push_back(std::move(t));
+      wp->pipeline->Close();
+    } catch (...) {
+      // A failed chunk still runs the full cleanup path: the exception
+      // unwound through the cursor chain's RAII (spool files, budget
+      // charges), and the packet/idle bookkeeping below closes normally.
+      error = std::current_exception();
+      packet.clear();
+      state->abort.store(true, std::memory_order_release);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->idle.push_back(wp);
+    if (error != nullptr) state->errors.emplace(ticket, error);
     state->completed.emplace(ticket, std::move(packet));
     ++state->finished;
   }
@@ -161,6 +177,10 @@ class MergeCursor final : public Cursor {
       auto wp = std::make_unique<WorkerPipeline>();
       wp->ev = std::make_unique<Evaluator>(ctx_.ev->store());
       wp->ev->set_path_mode(ctx_.ev->path_mode());
+      // Workers share the run's cancellation token: one RequestCancel (or
+      // the deadline tripping on any thread) stops every chunk task at its
+      // next poll.
+      wp->ev->set_control(ctx_.ev->control());
       // Workers reserve against the SAME accountant as the consumer (the
       // MemoryBudget is thread-safe), so one limit bounds the whole run —
       // the consumer pipeline, which runs every breaker, is not throttled
@@ -170,6 +190,7 @@ class MergeCursor final : public Cursor {
       // theoretical until segments ever gain stateful operators.)
       if (ctx_.spool != nullptr) {
         wp->spool = std::make_unique<SpoolContext>(ctx_.spool->budget());
+        wp->spool->set_control(ctx_.ev->control());
       }
       wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr,
                             wp->spool != nullptr && wp->spool->enabled()
@@ -321,8 +342,13 @@ class MergeCursor final : public Cursor {
     while (true) {
       {
         std::unique_lock<std::mutex> lock(state_->mu);
-        if (state_->error != nullptr) {
-          std::exception_ptr error = state_->error;
+        // The error check precedes the packet check, and both go strictly
+        // by next_ticket_: packets before the first failing ticket are
+        // emitted normally, then that ticket's error is rethrown —
+        // regardless of which worker failed first on the wall clock.
+        auto eit = state_->errors.find(next_ticket_);
+        if (eit != state_->errors.end()) {
+          std::exception_ptr error = eit->second;
           lock.unlock();
           std::rethrow_exception(error);
         }
@@ -341,7 +367,10 @@ class MergeCursor final : public Cursor {
           return true;
         }
       }
-      if (!SourceExhausted()) {
+      // A latched abort stops dispatch: the failing ticket is already in
+      // flight and the consumer only needs to drain up to it.
+      bool aborted = state_->abort.load(std::memory_order_acquire);
+      if (!aborted && !SourceExhausted()) {
         bool room;
         {
           std::lock_guard<std::mutex> lock(state_->mu);
@@ -358,9 +387,9 @@ class MergeCursor final : public Cursor {
       // wait for a completion, which frees a pipeline and may be ours.
       std::unique_lock<std::mutex> lock(state_->mu);
       state_->cv.wait(lock, [&] {
-        return state_->error != nullptr ||
-               state_->completed.count(next_ticket_) != 0 ||
-               (!SourceExhausted() &&
+        return state_->completed.count(next_ticket_) != 0 ||
+               (!state_->abort.load(std::memory_order_relaxed) &&
+                !SourceExhausted() &&
                 state_->dispatched - state_->finished < dop_);
       });
     }
@@ -449,6 +478,7 @@ uint64_t RunParallel(Evaluator& ev, const AlgebraOp& op,
   if (eff.memory_budget_bytes != 0) {
     eff.threads = ResolveBudgetedThreads(eff.threads, eff.memory_budget_bytes);
     consumer_spool.emplace(eff.memory_budget_bytes);
+    consumer_spool->set_control(ev.control());
   }
   Tuple env;
   ExecContext ctx{&ev, &env, stream,

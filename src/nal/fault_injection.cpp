@@ -1,0 +1,112 @@
+#include "nal/fault_injection.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace nalq::nal {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSpoolOpenWrite:
+      return "spool.open_write";
+    case FaultSite::kSpoolWrite:
+      return "spool.write";
+    case FaultSite::kSpoolClose:
+      return "spool.close";
+    case FaultSite::kSpoolOpenRead:
+      return "spool.open_read";
+    case FaultSite::kSpoolRead:
+      return "spool.read";
+    case FaultSite::kSchedulerWorkerStart:
+      return "scheduler.worker_start";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  // Leaked intentionally, like Scheduler::Global(): instrumented sites may
+  // run from pool threads that outlive static destruction.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() { ArmFromEnv(); }
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Rule& r : rules_) r = Rule{};
+  for (uint64_t& c : calls_) c = 0;
+  injected_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::FailNth(FaultSite site, uint64_t nth, int err, bool every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& r = rules_[static_cast<int>(site)];
+  r.active = true;
+  r.nth = nth == 0 ? 1 : nth;
+  r.err = err == 0 ? EIO : err;
+  r.every = every;
+  calls_[static_cast<int>(site)] = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::CallCount(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_[static_cast<int>(site)];
+}
+
+uint64_t FaultInjector::InjectedFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+int FaultInjector::MaybeFailSlow(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t call = ++calls_[static_cast<int>(site)];
+  Rule& r = rules_[static_cast<int>(site)];
+  if (!r.active) return 0;
+  bool fire = r.every ? call >= r.nth : call == r.nth;
+  if (!fire) return 0;
+  ++injected_;
+  return r.err;
+}
+
+void FaultInjector::ArmFromEnv() {
+  // "site:nth[:errno[:every]]" — e.g. "spool.write:3:28" or
+  // "spool.open_read:1:5:every". Malformed specs are ignored (the injector
+  // stays disarmed) so a typo can never fail real runs.
+  const char* spec = std::getenv("NALQ_FAULT_SPEC");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string s(spec);
+  size_t colon = s.find(':');
+  if (colon == std::string::npos) return;
+  std::string site_name = s.substr(0, colon);
+  FaultSite site = FaultSite::kSiteCount;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (site_name == FaultSiteName(static_cast<FaultSite>(i))) {
+      site = static_cast<FaultSite>(i);
+      break;
+    }
+  }
+  if (site == FaultSite::kSiteCount) return;
+  std::string rest = s.substr(colon + 1);
+  char* end = nullptr;
+  unsigned long long nth = std::strtoull(rest.c_str(), &end, 10);
+  if (end == rest.c_str() || nth == 0) return;
+  int err = EIO;
+  bool every = false;
+  if (*end == ':') {
+    char* end2 = nullptr;
+    long e = std::strtol(end + 1, &end2, 10);
+    if (end2 != end + 1 && e > 0) err = static_cast<int>(e);
+    if (end2 != nullptr && std::strcmp(end2, ":every") == 0) every = true;
+  }
+  FailNth(site, nth, err, every);
+}
+
+}  // namespace nalq::nal

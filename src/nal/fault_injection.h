@@ -1,0 +1,106 @@
+// Deterministic fault injection for the spill/exchange layers.
+//
+// The grace-hash/external-sort machinery (nal/spool.h) and the scheduler
+// are riddled with I/O and resource failure paths that no workload can
+// exercise on purpose. This harness makes them deterministic: each
+// instrumented call site asks the process-wide FaultInjector whether to
+// fail before touching the OS, and tests program "fail the Nth call at
+// site S with errno E" (transient, one-shot) or "fail every call at S"
+// (persistent). The instrumented sites are:
+//
+//   kSpoolOpenWrite       SpoolFile: fopen("wb") of a fresh temp file
+//   kSpoolWrite           SpoolFile::Append: the record fwrite
+//   kSpoolClose           SpoolFile::FinishWrites: the fclose
+//   kSpoolOpenRead        SpoolFile::Reader: fopen("rb") reopen
+//   kSpoolRead            SpoolFile::Reader::Next: the record fread
+//   kSchedulerWorkerStart Scheduler::EnsureThreads: pool growth
+//
+// When disarmed (the default, and always in production) the hook is one
+// relaxed atomic load. Call counting only happens while armed, so "the Nth
+// call" means the Nth call after arming — tests Reset() around each case.
+//
+// The NALQ_FAULT_SPEC environment variable arms the injector at first use
+// ("site:nth[:errno[:every]]", e.g. "spool.write:3" or
+// "spool.open_read:1:5:every"), so whole test binaries can be re-run with
+// a standing fault without code changes (see .github/workflows/ci.yml).
+#ifndef NALQ_NAL_FAULT_INJECTION_H_
+#define NALQ_NAL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace nalq::nal {
+
+enum class FaultSite : int {
+  kSpoolOpenWrite = 0,
+  kSpoolWrite,
+  kSpoolClose,
+  kSpoolOpenRead,
+  kSpoolRead,
+  kSchedulerWorkerStart,
+  kSiteCount,  // sentinel
+};
+
+inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::kSiteCount);
+
+/// Stable site name ("spool.open_write", ...) — used in error contexts and
+/// accepted by the NALQ_FAULT_SPEC parser.
+const char* FaultSiteName(FaultSite site);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector every instrumented site consults.
+  static FaultInjector& Global();
+
+  // -- Test programming (thread-safe) ---------------------------------------
+
+  /// Clears all rules and counters; disarms the fast path.
+  void Reset();
+
+  /// Fails the `nth` (1-based) call at `site` observed after this rule is
+  /// set, with `err` as the errno. `every` false = transient (that one call
+  /// only, later calls succeed — the retry-recovery case); true = that call
+  /// and every later one (persistent — the disk-stays-full case).
+  void FailNth(FaultSite site, uint64_t nth, int err, bool every = false);
+
+  /// Persistent fault from the first call on.
+  void FailAlways(FaultSite site, int err) { FailNth(site, 1, err, true); }
+
+  /// Calls observed at `site` while armed (diagnostic: lets a test assert
+  /// the site it programmed was actually reached).
+  uint64_t CallCount(FaultSite site) const;
+  /// Failures actually injected (all sites).
+  uint64_t InjectedFailures() const;
+
+  // -- The hook -------------------------------------------------------------
+
+  /// Consulted by the instrumented sites: 0 = proceed, else the errno to
+  /// fail with. Disarmed cost: one relaxed load.
+  int MaybeFail(FaultSite site) {
+    if (!armed_.load(std::memory_order_relaxed)) return 0;
+    return MaybeFailSlow(site);
+  }
+
+ private:
+  FaultInjector();
+  int MaybeFailSlow(FaultSite site);
+  void ArmFromEnv();
+
+  struct Rule {
+    bool active = false;
+    uint64_t nth = 0;  ///< 1-based trigger call number
+    int err = 0;
+    bool every = false;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  Rule rules_[kFaultSiteCount];
+  uint64_t calls_[kFaultSiteCount] = {};
+  uint64_t injected_ = 0;
+};
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_FAULT_INJECTION_H_

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/error.h"
 #include "nal/algebra.h"
 #include "nal/cursor.h"
 #include "nal/physical.h"
@@ -43,6 +44,9 @@ namespace nalq::nal::probe {
 
 inline void CountProducedTuple(ExecContext& ctx) {
   ++ctx.ev->stats().tuples_produced;
+  // Every operator of every executor funnels its emissions through this
+  // counter, which makes it the universal per-tuple cancellation point.
+  ctx.ev->CheckInterrupt();
 }
 
 template <class Access>
@@ -295,7 +299,9 @@ bool NextThetaGammaGroup(const std::vector<Key>& order, size_t* next_key,
   if (*next_key >= order.size()) return false;
   const Key& key = order[(*next_key)++];
   if (op.left_attrs.size() != 1) {
-    throw std::runtime_error("theta-grouping requires a single attribute");
+    throw engine::Error(engine::ErrorCode::kPlanError,
+                        "theta-grouping requires a single attribute", 0, {},
+                        "GroupUnary");
   }
   Sequence group;
   for_each_input([&](auto&& u) {

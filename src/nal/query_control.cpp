@@ -1,0 +1,40 @@
+#include "nal/query_control.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "engine/error.h"
+
+namespace nalq::nal {
+
+void QueryControl::CheckDeadline() {
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  int64_t now = Clock::now().time_since_epoch().count();
+  if (now < deadline) return;
+  Trip(State::kDeadline);
+  // Re-read: a concurrent RequestCancel may have won the latch.
+  ThrowTripped(state_.load(std::memory_order_relaxed));
+}
+
+void QueryControl::ThrowTripped(State s) {
+  if (s == State::kDeadline) {
+    throw engine::Error(engine::ErrorCode::kDeadlineExceeded,
+                        "query deadline exceeded", 0, {}, "QueryControl");
+  }
+  throw engine::Error(engine::ErrorCode::kCancelled, "query cancelled", 0, {},
+                      "QueryControl");
+}
+
+uint64_t QueryControl::EnvDeadlineMs() {
+  static const uint64_t cached = [] {
+    const char* s = std::getenv("NALQ_DEADLINE_MS");
+    if (s == nullptr || *s == '\0') return uint64_t{0};
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == nullptr || *end != '\0') return uint64_t{0};
+    return static_cast<uint64_t>(v);
+  }();
+  return cached;
+}
+
+}  // namespace nalq::nal

@@ -1,6 +1,10 @@
 #include "nal/scheduler.h"
 
 #include <algorithm>
+#include <system_error>
+
+#include "engine/error.h"
+#include "nal/fault_injection.h"
 
 namespace nalq::nal {
 
@@ -34,11 +38,26 @@ void Scheduler::EnsureThreads(unsigned n) {
   n = std::min(n, kMaxThreads);
   std::lock_guard<std::mutex> lock(pool_mu_);
   while (count_.load(std::memory_order_relaxed) < n) {
+    if (int injected = FaultInjector::Global().MaybeFail(
+            FaultSite::kSchedulerWorkerStart)) {
+      throw engine::Error(engine::ErrorCode::kBudgetExhausted,
+                          "scheduler: cannot start worker thread", injected,
+                          {}, "scheduler.worker_start");
+    }
     workers_.push_back(std::make_unique<Worker>());
     size_t self = workers_.size() - 1;
     // Publish the new slot before the thread (or any Submit) can index it.
     count_.store(workers_.size(), std::memory_order_release);
-    threads_.emplace_back([this, self] { WorkerLoop(self); });
+    try {
+      threads_.emplace_back([this, self] { WorkerLoop(self); });
+    } catch (const std::system_error& e) {
+      // The slot stays published (already-running threads may be indexing
+      // it, and its deque is stealable), but the pool stops growing. The
+      // caller sees a structured resource error.
+      throw engine::Error(engine::ErrorCode::kBudgetExhausted,
+                          "scheduler: cannot start worker thread",
+                          e.code().value(), {}, "scheduler.worker_start");
+    }
   }
 }
 

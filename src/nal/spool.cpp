@@ -1,12 +1,15 @@
 #include "nal/spool.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -15,7 +18,9 @@
 #include <unistd.h>
 #endif
 
+#include "engine/error.h"
 #include "nal/analysis.h"
+#include "nal/fault_injection.h"
 #include "nal/physical.h"
 #include "nal/probe_loops.h"
 #include "xml/store.h"
@@ -86,7 +91,10 @@ void PutU32(std::string* out, uint32_t v) {
 /// loudly instead of wrapping the length prefix and corrupting the spool.
 uint32_t CheckedU32(size_t n) {
   if (n > UINT32_MAX) {
-    throw std::runtime_error("spool: record component exceeds 4 GiB");
+    throw engine::Error(engine::ErrorCode::kBudgetExhausted,
+                        "spool: record component exceeds the 4 GiB frame "
+                        "limit",
+                        0, {}, "spool.encode");
   }
   return static_cast<uint32_t>(n);
 }
@@ -127,7 +135,9 @@ struct ByteReader {
 };
 
 [[noreturn]] void CorruptSpool() {
-  throw std::runtime_error("spool: corrupt temp-file record");
+  throw engine::Error(engine::ErrorCode::kSpoolIo,
+                      "spool: corrupt temp-file record", 0, {},
+                      "spool.decode");
 }
 
 }  // namespace
@@ -372,7 +382,11 @@ std::string SpoolContext::NewFilePath() {
   if (!created_) {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
-    if (ec) throw std::runtime_error("spool: cannot create " + dir_);
+    if (ec) {
+      throw engine::Error(engine::ErrorCode::kSpoolIo,
+                          "spool: cannot create spool directory", ec.value(),
+                          dir_, "spool.create_dir");
+    }
     created_ = true;
   }
   return dir_ + "/s" + std::to_string(next_file_++);
@@ -396,6 +410,38 @@ namespace {
 // Spool files
 // ---------------------------------------------------------------------------
 
+/// Bounded retry with exponential backoff for spool-file open/reopen: a
+/// transient create/reopen failure (EMFILE under descriptor pressure, an
+/// injected one-shot fault) is retried a few times before the run is
+/// failed. Only opens are retried — a short write or read means the file
+/// is in an unknown state and retrying could silently corrupt records.
+constexpr int kOpenAttempts = 4;  ///< 1 try + 3 retries
+constexpr int kRetryBackoffBaseMs = 1;
+
+FILE* OpenSpoolFileWithRetry(const std::string& path, const char* mode,
+                             FaultSite site) {
+  int last_err = 0;
+  for (int attempt = 0; attempt < kOpenAttempts; ++attempt) {
+    if (attempt != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kRetryBackoffBaseMs << (attempt - 1)));
+    }
+    if (int injected = FaultInjector::Global().MaybeFail(site)) {
+      last_err = injected;
+      continue;
+    }
+    errno = 0;
+    FILE* f = std::fopen(path.c_str(), mode);
+    if (f != nullptr) return f;
+    last_err = errno;
+  }
+  throw engine::Error(engine::ErrorCode::kSpoolIo,
+                      std::string("spool: cannot open temp file (mode ") +
+                          mode + ") after " + std::to_string(kOpenAttempts) +
+                          " attempts",
+                      last_err, path, FaultSiteName(site));
+}
+
 /// One temp file of length-prefixed records. Write-then-read: Append while
 /// writing, FinishWrites() once, then any number of sequential Readers.
 /// The file is created lazily on the first Append and removed by the
@@ -412,20 +458,28 @@ class SpoolFile {
   SpoolFile& operator=(const SpoolFile&) = delete;
 
   void Append(std::string_view payload) {
+    // Cancellation point: partition routing and run formation funnel every
+    // record through here, so spill-heavy phases poll per record.
+    ctx_->Poll();
     if (wf_ == nullptr) {
       path_ = ctx_->NewFilePath();
-      wf_ = std::fopen(path_.c_str(), "wb");
-      if (wf_ == nullptr) {
-        path_.clear();
-        throw std::runtime_error("spool: cannot open temp file for writing");
+      try {
+        wf_ = OpenSpoolFileWithRetry(path_, "wb", FaultSite::kSpoolOpenWrite);
+      } catch (...) {
+        path_.clear();  // nothing on disk; the dtor must not remove it
+        throw;
       }
       ctx_->budget().ChargeUnchecked(kWriteBufferBytes);
       buffer_charged_ = kWriteBufferBytes;
     }
     uint32_t len = CheckedU32(payload.size());
-    if (std::fwrite(&len, 4, 1, wf_) != 1 ||
+    int injected = FaultInjector::Global().MaybeFail(FaultSite::kSpoolWrite);
+    errno = 0;
+    if (injected != 0 || std::fwrite(&len, 4, 1, wf_) != 1 ||
         (len != 0 && std::fwrite(payload.data(), len, 1, wf_) != 1)) {
-      throw std::runtime_error("spool: short write (disk full?)");
+      throw engine::Error(engine::ErrorCode::kSpoolIo, "spool: short write",
+                          injected != 0 ? injected : errno, path_,
+                          "spool.write");
     }
     bytes_ += 4 + len;
     ++records_;
@@ -435,12 +489,16 @@ class SpoolFile {
   /// accounts the file in SpillStats.
   void FinishWrites() {
     if (wf_ != nullptr) {
-      if (std::fclose(wf_) != 0) {
-        wf_ = nullptr;
-        ReleaseBuffer();
-        throw std::runtime_error("spool: close failed (disk full?)");
-      }
+      int injected = FaultInjector::Global().MaybeFail(FaultSite::kSpoolClose);
+      errno = 0;
+      int rc = std::fclose(wf_);  // real close even under injection: no leak
       wf_ = nullptr;
+      ReleaseBuffer();
+      if (injected != 0 || rc != 0) {
+        throw engine::Error(engine::ErrorCode::kSpoolIo, "spool: close failed",
+                            injected != 0 ? injected : errno, path_,
+                            "spool.close");
+      }
     }
     ReleaseBuffer();
     if (!accounted_ && records_ > 0 && stats_ != nullptr) {
@@ -455,22 +513,24 @@ class SpoolFile {
 
   class Reader {
    public:
-    explicit Reader(const SpoolFile& f) {
-      if (!f.path_.empty()) {
-        rf_ = std::fopen(f.path_.c_str(), "rb");
-        if (rf_ == nullptr) {
-          throw std::runtime_error("spool: cannot reopen temp file");
-        }
+    explicit Reader(const SpoolFile& f) : ctx_(f.ctx_), path_(f.path_) {
+      if (!path_.empty()) {
+        rf_ = OpenSpoolFileWithRetry(path_, "rb", FaultSite::kSpoolOpenRead);
       }
     }
     ~Reader() {
       if (rf_ != nullptr) std::fclose(rf_);
     }
-    Reader(Reader&& o) noexcept : rf_(o.rf_) { o.rf_ = nullptr; }
+    Reader(Reader&& o) noexcept
+        : rf_(o.rf_), ctx_(o.ctx_), path_(std::move(o.path_)) {
+      o.rf_ = nullptr;
+    }
     Reader& operator=(Reader&& o) noexcept {
       if (this != &o) {
         if (rf_ != nullptr) std::fclose(rf_);
         rf_ = o.rf_;
+        ctx_ = o.ctx_;
+        path_ = std::move(o.path_);
         o.rf_ = nullptr;
       }
       return *this;
@@ -484,19 +544,45 @@ class SpoolFile {
 
     bool Next(std::string* payload) {
       if (rf_ == nullptr) return false;
+      // Cancellation point: merge passes and partition re-reads funnel
+      // every record through here.
+      if (ctx_ != nullptr) ctx_->Poll();
+      if (int injected =
+              FaultInjector::Global().MaybeFail(FaultSite::kSpoolRead)) {
+        throw engine::Error(engine::ErrorCode::kSpoolIo, "spool: read failed",
+                            injected, path_, "spool.read");
+      }
       uint32_t len;
+      errno = 0;
       size_t got = std::fread(&len, 1, 4, rf_);
-      if (got == 0) return false;
-      if (got != 4) CorruptSpool();
+      // Clean end-of-stream is exactly "no bytes AND eof". Anything else —
+      // a read error, or 1–3 bytes of a truncated length prefix — is an
+      // I/O failure, not EOF.
+      if (got == 0 && std::feof(rf_) != 0) return false;
+      if (got != 4) {
+        throw engine::Error(engine::ErrorCode::kSpoolIo,
+                            got == 0
+                                ? "spool: read failed at record header"
+                                : "spool: truncated record header (partial "
+                                  "length prefix)",
+                            errno, path_, "spool.read");
+      }
       payload->resize(len);
+      errno = 0;
       if (len != 0 && std::fread(payload->data(), 1, len, rf_) != len) {
-        CorruptSpool();
+        throw engine::Error(engine::ErrorCode::kSpoolIo,
+                            std::feof(rf_) != 0
+                                ? "spool: truncated record payload"
+                                : "spool: read failed mid-record",
+                            errno, path_, "spool.read");
       }
       return true;
     }
 
    private:
     FILE* rf_ = nullptr;
+    SpoolContext* ctx_ = nullptr;
+    std::string path_;
   };
 
  private:
@@ -1369,7 +1455,9 @@ class SpillJoinCursor final : public Cursor {
     // Open order.
     if (op_.kind == OpKind::kGroupBinary && op_.theta != CmpOp::kEq &&
         op_.left_attrs.size() != 1) {
-      throw std::runtime_error("theta nest-join requires a single attribute");
+      throw engine::Error(engine::ErrorCode::kPlanError,
+                          "theta nest-join requires a single attribute", 0, {},
+                          "SpillJoinCursor");
     }
     if (op_.kind == OpKind::kOuterJoin) {
       dflt_ = op_.expr != nullptr
@@ -1876,28 +1964,76 @@ class SpillJoinCursor final : public Cursor {
 // Factories
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Decorates a spill cursor so any engine::Error escaping it is annotated
+/// with the breaker's operator name — a low-level "spool.write" fault then
+/// reports which operator it broke (the innermost annotation wins, so a
+/// fault inside a nested spill cursor keeps that cursor's operator).
+class OpContextCursor final : public Cursor {
+ public:
+  OpContextCursor(std::string op_name, CursorPtr inner)
+      : op_name_(std::move(op_name)), inner_(std::move(inner)) {}
+
+  void Open() override {
+    Annotated([&] { inner_->Open(); });
+  }
+  bool Next(Tuple* out) override {
+    return Annotated([&] { return inner_->Next(out); });
+  }
+  void Close() override {
+    Annotated([&] { inner_->Close(); });
+  }
+
+ private:
+  template <typename F>
+  auto Annotated(F&& f) -> decltype(f()) {
+    try {
+      return f();
+    } catch (engine::Error& e) {
+      e.set_op_if_empty(op_name_);
+      throw;
+    }
+  }
+
+  std::string op_name_;
+  CursorPtr inner_;
+};
+
+CursorPtr Annotate(std::string op_name, CursorPtr inner) {
+  return std::make_unique<OpContextCursor>(std::move(op_name),
+                                           std::move(inner));
+}
+
+}  // namespace
+
 bool SpillEnabled(const ExecContext& ctx) {
   return ctx.spool != nullptr && ctx.spool->enabled();
 }
 
 CursorPtr MakeSpillSortCursor(const AlgebraOp& op, ExecContext& ctx,
                               CursorPtr input) {
-  return std::make_unique<SpillSortCursor>(op, ctx, std::move(input));
+  return Annotate(std::string(OpKindName(op.kind)),
+                  std::make_unique<SpillSortCursor>(op, ctx, std::move(input)));
 }
 
 CursorPtr MakeSpillGroupUnaryCursor(const AlgebraOp& op, ExecContext& ctx,
                                     CursorPtr input) {
-  return std::make_unique<SpillGroupUnaryCursor>(op, ctx, std::move(input));
+  return Annotate(
+      std::string(OpKindName(op.kind)),
+      std::make_unique<SpillGroupUnaryCursor>(op, ctx, std::move(input)));
 }
 
 CursorPtr MakeSpillJoinCursor(const AlgebraOp& op, ExecContext& ctx,
                               CursorPtr left, CursorPtr right) {
-  return std::make_unique<SpillJoinCursor>(op, ctx, std::move(left),
-                                           std::move(right));
+  return Annotate(std::string(OpKindName(op.kind)),
+                  std::make_unique<SpillJoinCursor>(op, ctx, std::move(left),
+                                                    std::move(right)));
 }
 
 CursorPtr MakeSpoolBufferCursor(ExecContext& ctx, CursorPtr input) {
-  return std::make_unique<SpoolBufferCursor>(ctx, std::move(input));
+  return Annotate("SpoolBuffer",
+                  std::make_unique<SpoolBufferCursor>(ctx, std::move(input)));
 }
 
 }  // namespace nalq::nal

@@ -132,6 +132,19 @@ class SpoolContext {
   const std::string& dir() const { return dir_; }
   bool dir_created() const { return created_; }
 
+  /// Cancellation token for the run (nal/query_control.h), or null. The
+  /// spool layer polls it per temp-file record (SpoolFile append/read), so
+  /// external-sort merge passes and grace partition processing — loops that
+  /// can run long without producing a root tuple — stay interruptible. The
+  /// streaming/parallel entry points wire the evaluator's token in here;
+  /// the token must outlive the context's use.
+  void set_control(QueryControl* control) { control_ = control; }
+  QueryControl* control() const { return control_; }
+  /// Cancellation point (see QueryControl::Poll).
+  void Poll() {
+    if (control_ != nullptr) control_->Poll();
+  }
+
   /// Budget from the NALQ_MEMORY_BUDGET_BYTES environment variable (0 when
   /// unset/invalid), read once per process. The streaming/parallel entry
   /// points fall back to it when no explicit spool is supplied, so every
@@ -142,6 +155,7 @@ class SpoolContext {
  private:
   std::unique_ptr<MemoryBudget> own_budget_;  ///< null in the worker form
   MemoryBudget* budget_;
+  QueryControl* control_ = nullptr;
   std::string dir_;
   bool created_ = false;
   bool owns_dir_ = true;

@@ -13,6 +13,7 @@
 // the success and the thrown-error path.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <filesystem>
 #include <random>
 
@@ -21,6 +22,7 @@
 #include "nal/cursor.h"
 #include "nal/eval.h"
 #include "nal/exchange.h"
+#include "nal/fault_injection.h"
 #include "nal/spool.h"
 #include "test_util.h"
 #include "xml/store.h"
@@ -595,6 +597,46 @@ TEST(SpoolCleanupTest, ThrownErrorPathRemovesEveryTempFile) {
     EXPECT_EQ(FilesIn(dir), 0u);       // unwinding removed the files
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(SpoolCleanupTest, InjectedFaultAtEverySpoolSiteLeavesNoTempFiles) {
+  // Satellite of the fault-injection harness (tests/fault_injection_test
+  // .cpp has the full sweep): for EVERY instrumented spool site, an
+  // injected persistent fault must unwind with zero temp files left and
+  // the budget accountant back at zero — with the RAII spool directory
+  // removed once the context dies (auto dirs are context-owned).
+  struct InjectorReset {
+    ~InjectorReset() { FaultInjector::Global().Reset(); }
+  };
+  for (FaultSite site :
+       {FaultSite::kSpoolOpenWrite, FaultSite::kSpoolWrite,
+        FaultSite::kSpoolClose, FaultSite::kSpoolOpenRead,
+        FaultSite::kSpoolRead}) {
+    SCOPED_TRACE(FaultSiteName(site));
+    InjectorReset guard;
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().FailAlways(site, EIO);
+    xml::Store store;
+    testutil::RandomRelation rng(5);
+    Sequence lhs = rng.Make({"A"}, 120, 4);
+    Sequence rhs = rng.Make({"C"}, 120, 4);
+    AlgebraPtr plan = Join(MakeCmp(CmpOp::kEq, MakeAttrRef(Symbol("A")),
+                                   MakeAttrRef(Symbol("C"))),
+                           Table(std::move(lhs)), Table(std::move(rhs)));
+    std::string dir;
+    {
+      SpoolContext spool(1024);  // auto temp dir: removed by the dtor
+      Evaluator ev(store);
+      EXPECT_THROW(ExecuteStreaming(ev, *plan, nullptr, &spool),
+                   std::runtime_error);
+      EXPECT_TRUE(spool.dir_created());  // the fault fired after a spill
+      EXPECT_EQ(FilesIn(spool.dir()), 0u);
+      EXPECT_EQ(spool.budget().used_bytes(), 0u);
+      dir = spool.dir();
+    }
+    EXPECT_FALSE(std::filesystem::exists(dir))
+        << "RAII spool directory survived its context";
+  }
 }
 
 TEST(SpoolCleanupTest, NoSpillMeansNoDirectory) {
