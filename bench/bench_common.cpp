@@ -147,7 +147,18 @@ std::string RecordLine(const BenchRecord& r) {
   std::snprintf(est, sizeof(est), "%.3f", r.est_rows);
   out << ",\"est_rows\":" << est
       << ",\"chosen_by_cost\":" << r.chosen_by_cost
-      << ",\"chosen_by_priority\":" << r.chosen_by_priority
+      << ",\"chosen_by_priority\":" << r.chosen_by_priority;
+  std::snprintf(est, sizeof(est), "%.3f", r.qps);
+  out << ",\"qps\":" << est;
+  std::snprintf(est, sizeof(est), "%.3f", r.p50_ms);
+  out << ",\"p50_ms\":" << est;
+  std::snprintf(est, sizeof(est), "%.3f", r.p99_ms);
+  out << ",\"p99_ms\":" << est
+      << ",\"svc_submitted\":" << r.svc_submitted
+      << ",\"svc_completed\":" << r.svc_completed
+      << ",\"svc_rejected\":" << r.svc_rejected
+      << ",\"svc_shed\":" << r.svc_shed
+      << ",\"svc_degraded\":" << r.svc_degraded
       << "}";
   return out.str();
 }

@@ -51,6 +51,20 @@ struct BenchRecord {
   double est_rows = -1;        ///< estimated output rows
   int chosen_by_cost = -1;     ///< 1 = PlanChoice::kCost picked this plan
   int chosen_by_priority = -1; ///< 1 = rule-priority ranking would pick it
+
+  // Service fields, set on mode == "service" records (-1 otherwise): one
+  // record summarizes a sustained open-loop run against the concurrent
+  // query service (bench/bench_service.cpp), so throughput, tail latency
+  // and the overload behavior (sheds, degradations) land in
+  // BENCH_results.json next to the single-query timings.
+  double qps = -1;             ///< completed queries per second
+  double p50_ms = -1;          ///< median end-to-end latency (queue + run)
+  double p99_ms = -1;          ///< 99th-percentile end-to-end latency
+  int64_t svc_submitted = -1;
+  int64_t svc_completed = -1;
+  int64_t svc_rejected = -1;   ///< shed at submission (queue full)
+  int64_t svc_shed = -1;       ///< all admission sheds (full + queue deadline)
+  int64_t svc_degraded = -1;   ///< admissions with a shrunken budget grant
 };
 
 /// Queues `record` for WriteBenchResults().

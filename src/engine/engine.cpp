@@ -29,6 +29,9 @@ void Engine::AddDocument(const std::string& name, std::string_view xml_text) {
 
 void Engine::RegisterDtd(const std::string& name, std::string_view dtd_text) {
   dtds_.Register(name, xml::Dtd::Parse(dtd_text));
+  // DTDs feed translation (attribute typing), so compiled plans keyed on
+  // the store version (the service's plan cache) must go stale too.
+  store_.BumpVersion();
 }
 
 CompiledQuery Engine::Compile(std::string_view query_text, PlanChoice choice,
@@ -76,12 +79,18 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
                               ? xml::PathEvalMode::kIndexed
                               : xml::PathEvalMode::kScan);
   // Lifecycle wiring: an explicit deadline wins, the NALQ_DEADLINE_MS
-  // environment default applies otherwise (mirroring the budget knob). A
+  // environment default applies otherwise (mirroring the budget knob) — but
+  // never to a caller token that already carries a deadline: the query
+  // service arms its tokens at submission so one deadline spans queue wait
+  // plus run, and re-arming here would silently refund the queue time. A
   // deadline without a caller token gets a run-local one; the token is
   // shared by pointer with every executor thread (see nal/query_control.h).
   nal::QueryControl local_control;
-  uint64_t effective_deadline =
-      deadline_ms != 0 ? deadline_ms : nal::QueryControl::EnvDeadlineMs();
+  uint64_t effective_deadline = deadline_ms;
+  if (effective_deadline == 0 &&
+      (control == nullptr || !control->has_deadline())) {
+    effective_deadline = nal::QueryControl::EnvDeadlineMs();
+  }
   if (control == nullptr && effective_deadline != 0) {
     control = &local_control;
   }

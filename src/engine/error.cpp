@@ -16,6 +16,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "kBudgetExhausted";
     case ErrorCode::kPlanError:
       return "kPlanError";
+    case ErrorCode::kAdmissionRejected:
+      return "kAdmissionRejected";
   }
   return "kUnknown";
 }

@@ -22,11 +22,13 @@ namespace nalq::engine {
 /// What failed, coarsely — the dispatch key for a caller's retry/abort
 /// policy (src/nal/README.md, "Query lifecycle & failure semantics").
 enum class ErrorCode {
-  kCancelled,         ///< QueryControl::RequestCancel observed
-  kDeadlineExceeded,  ///< the run outlived its monotonic deadline
-  kSpoolIo,           ///< spool temp-file open/read/write/close/decode failed
-  kBudgetExhausted,   ///< a resource limit (spool frame, worker thread) hit
-  kPlanError,         ///< the physical layer cannot execute this plan shape
+  kCancelled,          ///< QueryControl::RequestCancel observed
+  kDeadlineExceeded,   ///< the run outlived its monotonic deadline
+  kSpoolIo,            ///< spool temp-file open/read/write/close/decode failed
+  kBudgetExhausted,    ///< a resource limit (spool frame, worker thread) hit
+  kPlanError,          ///< the physical layer cannot execute this plan shape
+  kAdmissionRejected,  ///< the query service shed the submission (queue full
+                       ///< or queue deadline) before it ever ran
 };
 
 /// Stable identifier string ("kCancelled", ...) for logs and tests.

@@ -1,0 +1,36 @@
+// Centralized parsing for the NALQ_* environment knobs.
+//
+// Every runtime knob with an environment default — NALQ_MEMORY_BUDGET_BYTES,
+// NALQ_DEADLINE_MS, the query-service knobs (NALQ_MAX_CONCURRENT,
+// NALQ_QUEUE_DEPTH, NALQ_QUEUE_DEADLINE_MS) — funnels through one validated
+// parser instead of a per-call-site strtoull. The contract:
+//
+//   * unset or empty       → the caller's fallback (the knob stays soft);
+//   * a decimal integer    → its value;
+//   * anything else        → engine::Error(kPlanError) carrying the variable
+//                            name and the offending text. A typo'd knob used
+//                            to silently become 0 ("unlimited budget", "no
+//                            deadline") — the most dangerous possible
+//                            misread; now the first query that resolves the
+//                            knob fails loudly instead.
+//
+// NALQ_FAULT_SPEC keeps its own parser (fault_injection.cpp) and its own
+// deliberate ignore-on-malformed policy: the injector is a test harness, and
+// a typo there must never be able to fail production runs.
+#ifndef NALQ_NAL_ENV_KNOBS_H_
+#define NALQ_NAL_ENV_KNOBS_H_
+
+#include <cstdint>
+
+namespace nalq::nal {
+
+/// Reads environment variable `name` as a non-negative decimal integer.
+/// Returns `fallback` when unset/empty; throws engine::Error(kPlanError)
+/// naming the variable and its malformed value otherwise. Reads the
+/// environment on every call — callers that want once-per-process semantics
+/// cache the result in a function-local static (the existing idiom).
+uint64_t EnvKnobU64(const char* name, uint64_t fallback = 0);
+
+}  // namespace nalq::nal
+
+#endif  // NALQ_NAL_ENV_KNOBS_H_

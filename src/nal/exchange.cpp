@@ -191,6 +191,10 @@ class MergeCursor final : public Cursor {
       if (ctx_.spool != nullptr) {
         wp->spool = std::make_unique<SpoolContext>(ctx_.spool->budget());
         wp->spool->set_control(ctx_.ev->control());
+        // Workers inherit the parent run's fault injector, not the ambient
+        // one: Open() runs on the consumer thread, but the worker contexts
+        // must fault (or not) with the run they belong to.
+        wp->spool->set_injector(ctx_.spool->injector());
       }
       wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr,
                             wp->spool != nullptr && wp->spool->enabled()

@@ -27,14 +27,33 @@ const char* FaultSiteName(FaultSite site) {
   return "unknown";
 }
 
+namespace {
+
+/// The calling thread's scoped override (ScopedFaultInjector), or null.
+thread_local FaultInjector* tls_injector = nullptr;
+
+}  // namespace
+
 FaultInjector& FaultInjector::Global() {
   // Leaked intentionally, like Scheduler::Global(): instrumented sites may
   // run from pool threads that outlive static destruction.
-  static FaultInjector* injector = new FaultInjector();
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    fi->ArmFromEnv();
+    return fi;
+  }();
   return *injector;
 }
 
-FaultInjector::FaultInjector() { ArmFromEnv(); }
+FaultInjector& FaultInjector::Current() {
+  return tls_injector != nullptr ? *tls_injector : Global();
+}
+
+ScopedFaultInjector::ScopedFaultInjector() : prev_(tls_injector) {
+  tls_injector = &injector_;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() { tls_injector = prev_; }
 
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);

@@ -23,6 +23,17 @@
 // ("site:nth[:errno[:every]]", e.g. "spool.write:3" or
 // "spool.open_read:1:5:every"), so whole test binaries can be re-run with
 // a standing fault without code changes (see .github/workflows/ci.yml).
+//
+// Scoping (concurrent-query tests): sites consult FaultInjector::Current(),
+// which is the process-wide Global() unless a ScopedFaultInjector is alive
+// on the calling thread. SpoolContext captures Current() at construction
+// and every spool site consults the context's injector, and the exchange
+// copies the parent context's injector onto its worker contexts — so a
+// scope installed around one query's Engine::Run covers every thread of
+// that run (consumer and workers) while concurrent queries on other threads
+// keep consulting Global(). The query service's soak tests fault one
+// query's spool sites this way and assert its neighbors finish
+// byte-identical (tests/service_test.cpp).
 #ifndef NALQ_NAL_FAULT_INJECTION_H_
 #define NALQ_NAL_FAULT_INJECTION_H_
 
@@ -50,8 +61,16 @@ const char* FaultSiteName(FaultSite site);
 
 class FaultInjector {
  public:
-  /// The process-wide injector every instrumented site consults.
+  /// The process-wide injector. Armed from NALQ_FAULT_SPEC at first use.
   static FaultInjector& Global();
+
+  /// The injector the instrumented sites consult: the calling thread's
+  /// ScopedFaultInjector when one is alive, Global() otherwise.
+  static FaultInjector& Current();
+
+  /// A fresh, disarmed injector for scoped use (never armed from the
+  /// environment — scoped faults are programmed explicitly by the test).
+  FaultInjector() = default;
 
   // -- Test programming (thread-safe) ---------------------------------------
 
@@ -83,7 +102,6 @@ class FaultInjector {
   }
 
  private:
-  FaultInjector();
   int MaybeFailSlow(FaultSite site);
   void ArmFromEnv();
 
@@ -99,6 +117,26 @@ class FaultInjector {
   Rule rules_[kFaultSiteCount];
   uint64_t calls_[kFaultSiteCount] = {};
   uint64_t injected_ = 0;
+};
+
+/// RAII thread-scoped injector override: while alive, Current() on the
+/// installing thread returns injector() instead of Global(). Scopes nest
+/// (the previous override is restored on destruction); install and destroy
+/// on the same thread. Because SpoolContext and the exchange propagate the
+/// captured pointer (see the file comment), the scope must outlive every
+/// run started under it.
+class ScopedFaultInjector {
+ public:
+  ScopedFaultInjector();
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* prev_;
 };
 
 }  // namespace nalq::nal

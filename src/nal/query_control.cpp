@@ -1,9 +1,9 @@
 #include "nal/query_control.h"
 
-#include <cstdlib>
 #include <string>
 
 #include "engine/error.h"
+#include "nal/env_knobs.h"
 
 namespace nalq::nal {
 
@@ -26,14 +26,7 @@ void QueryControl::ThrowTripped(State s) {
 }
 
 uint64_t QueryControl::EnvDeadlineMs() {
-  static const uint64_t cached = [] {
-    const char* s = std::getenv("NALQ_DEADLINE_MS");
-    if (s == nullptr || *s == '\0') return uint64_t{0};
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == nullptr || *end != '\0') return uint64_t{0};
-    return static_cast<uint64_t>(v);
-  }();
+  static const uint64_t cached = EnvKnobU64("NALQ_DEADLINE_MS", 0);
   return cached;
 }
 

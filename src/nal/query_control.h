@@ -59,6 +59,13 @@ class QueryControl {
   bool has_deadline() const {
     return has_deadline_.load(std::memory_order_relaxed);
   }
+  /// The armed deadline instant. Meaningful only when has_deadline(); used
+  /// by the query service to bound its admission-queue wait with the same
+  /// deadline that bounds the run (service/query_service.h).
+  Clock::time_point deadline() const {
+    return Clock::time_point(
+        Clock::duration(deadline_ns_.load(std::memory_order_relaxed)));
+  }
 
   /// Deadline clock reads happen every this-many polls (plus the first).
   static constexpr uint64_t kDeadlineCheckInterval = 256;

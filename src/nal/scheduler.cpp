@@ -38,7 +38,7 @@ void Scheduler::EnsureThreads(unsigned n) {
   n = std::min(n, kMaxThreads);
   std::lock_guard<std::mutex> lock(pool_mu_);
   while (count_.load(std::memory_order_relaxed) < n) {
-    if (int injected = FaultInjector::Global().MaybeFail(
+    if (int injected = FaultInjector::Current().MaybeFail(
             FaultSite::kSchedulerWorkerStart)) {
       throw engine::Error(engine::ErrorCode::kBudgetExhausted,
                           "scheduler: cannot start worker thread", injected,

@@ -20,6 +20,7 @@
 
 #include "engine/error.h"
 #include "nal/analysis.h"
+#include "nal/env_knobs.h"
 #include "nal/fault_injection.h"
 #include "nal/physical.h"
 #include "nal/probe_loops.h"
@@ -359,13 +360,17 @@ std::string AutoSpoolDir() {
 }  // namespace
 
 SpoolContext::SpoolContext(MemoryBudget& shared, std::string dir)
-    : budget_(&shared), dir_(std::move(dir)), owns_dir_(dir_.empty()) {
+    : budget_(&shared),
+      injector_(&FaultInjector::Current()),
+      dir_(std::move(dir)),
+      owns_dir_(dir_.empty()) {
   if (dir_.empty()) dir_ = AutoSpoolDir();
 }
 
 SpoolContext::SpoolContext(uint64_t budget_bytes, std::string dir)
     : own_budget_(std::make_unique<MemoryBudget>(budget_bytes)),
       budget_(own_budget_.get()),
+      injector_(&FaultInjector::Current()),
       dir_(std::move(dir)),
       owns_dir_(dir_.empty()) {
   if (dir_.empty()) dir_ = AutoSpoolDir();
@@ -393,14 +398,7 @@ std::string SpoolContext::NewFilePath() {
 }
 
 uint64_t SpoolContext::EnvBudgetBytes() {
-  static const uint64_t cached = [] {
-    const char* s = std::getenv("NALQ_MEMORY_BUDGET_BYTES");
-    if (s == nullptr || *s == '\0') return static_cast<uint64_t>(0);
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s) return static_cast<uint64_t>(0);
-    return static_cast<uint64_t>(v);
-  }();
+  static const uint64_t cached = EnvKnobU64("NALQ_MEMORY_BUDGET_BYTES", 0);
   return cached;
 }
 
@@ -419,14 +417,14 @@ constexpr int kOpenAttempts = 4;  ///< 1 try + 3 retries
 constexpr int kRetryBackoffBaseMs = 1;
 
 FILE* OpenSpoolFileWithRetry(const std::string& path, const char* mode,
-                             FaultSite site) {
+                             FaultSite site, FaultInjector& injector) {
   int last_err = 0;
   for (int attempt = 0; attempt < kOpenAttempts; ++attempt) {
     if (attempt != 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(kRetryBackoffBaseMs << (attempt - 1)));
     }
-    if (int injected = FaultInjector::Global().MaybeFail(site)) {
+    if (int injected = injector.MaybeFail(site)) {
       last_err = injected;
       continue;
     }
@@ -464,7 +462,8 @@ class SpoolFile {
     if (wf_ == nullptr) {
       path_ = ctx_->NewFilePath();
       try {
-        wf_ = OpenSpoolFileWithRetry(path_, "wb", FaultSite::kSpoolOpenWrite);
+        wf_ = OpenSpoolFileWithRetry(path_, "wb", FaultSite::kSpoolOpenWrite,
+                                     *ctx_->injector());
       } catch (...) {
         path_.clear();  // nothing on disk; the dtor must not remove it
         throw;
@@ -473,7 +472,7 @@ class SpoolFile {
       buffer_charged_ = kWriteBufferBytes;
     }
     uint32_t len = CheckedU32(payload.size());
-    int injected = FaultInjector::Global().MaybeFail(FaultSite::kSpoolWrite);
+    int injected = ctx_->injector()->MaybeFail(FaultSite::kSpoolWrite);
     errno = 0;
     if (injected != 0 || std::fwrite(&len, 4, 1, wf_) != 1 ||
         (len != 0 && std::fwrite(payload.data(), len, 1, wf_) != 1)) {
@@ -489,7 +488,7 @@ class SpoolFile {
   /// accounts the file in SpillStats.
   void FinishWrites() {
     if (wf_ != nullptr) {
-      int injected = FaultInjector::Global().MaybeFail(FaultSite::kSpoolClose);
+      int injected = ctx_->injector()->MaybeFail(FaultSite::kSpoolClose);
       errno = 0;
       int rc = std::fclose(wf_);  // real close even under injection: no leak
       wf_ = nullptr;
@@ -515,7 +514,8 @@ class SpoolFile {
    public:
     explicit Reader(const SpoolFile& f) : ctx_(f.ctx_), path_(f.path_) {
       if (!path_.empty()) {
-        rf_ = OpenSpoolFileWithRetry(path_, "rb", FaultSite::kSpoolOpenRead);
+        rf_ = OpenSpoolFileWithRetry(path_, "rb", FaultSite::kSpoolOpenRead,
+                                     *ctx_->injector());
       }
     }
     ~Reader() {
@@ -547,8 +547,9 @@ class SpoolFile {
       // Cancellation point: merge passes and partition re-reads funnel
       // every record through here.
       if (ctx_ != nullptr) ctx_->Poll();
-      if (int injected =
-              FaultInjector::Global().MaybeFail(FaultSite::kSpoolRead)) {
+      FaultInjector& injector =
+          ctx_ != nullptr ? *ctx_->injector() : FaultInjector::Current();
+      if (int injected = injector.MaybeFail(FaultSite::kSpoolRead)) {
         throw engine::Error(engine::ErrorCode::kSpoolIo, "spool: read failed",
                             injected, path_, "spool.read");
       }

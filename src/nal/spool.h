@@ -55,6 +55,8 @@
 
 namespace nalq::nal {
 
+class FaultInjector;  // deterministic fault injection (nal/fault_injection.h)
+
 /// Thread-safe memory accountant. One instance bounds everything the
 /// breakers of one execution keep resident; breakers TryCharge before
 /// buffering and Release what they charged when they spill or close.
@@ -145,17 +147,27 @@ class SpoolContext {
     if (control_ != nullptr) control_->Poll();
   }
 
+  /// Fault injector for this run's spool sites (nal/fault_injection.h).
+  /// Captured as FaultInjector::Current() at construction — so a
+  /// ScopedFaultInjector alive on the constructing thread scopes faults to
+  /// exactly this run — and copied onto worker contexts by the exchange.
+  /// Never null.
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* injector() const { return injector_; }
+
   /// Budget from the NALQ_MEMORY_BUDGET_BYTES environment variable (0 when
-  /// unset/invalid), read once per process. The streaming/parallel entry
-  /// points fall back to it when no explicit spool is supplied, so every
-  /// existing differential suite can run with spilling active under one
-  /// environment setting (see .github/workflows/ci.yml).
+  /// unset; malformed values throw — see nal/env_knobs.h), read once per
+  /// process. The streaming/parallel entry points fall back to it when no
+  /// explicit spool is supplied, so every existing differential suite can
+  /// run with spilling active under one environment setting (see
+  /// .github/workflows/ci.yml).
   static uint64_t EnvBudgetBytes();
 
  private:
   std::unique_ptr<MemoryBudget> own_budget_;  ///< null in the worker form
   MemoryBudget* budget_;
   QueryControl* control_ = nullptr;
+  FaultInjector* injector_;  ///< set by both constructors, never null
   std::string dir_;
   bool created_ = false;
   bool owns_dir_ = true;

@@ -1,0 +1,252 @@
+// Concurrent query service: admission control, graceful overload
+// degradation, and plan caching over the single-query Engine façade.
+//
+// The paper's experiments run one query at a time inside Natix; a real
+// embedding serves many clients against one store and one memory budget.
+// QueryService is that front-end. It owns nothing the Engine doesn't
+// already have — it partitions the global MemoryBudget across in-flight
+// queries, shares the process-wide scheduler pool, and composes the
+// lifecycle primitives (QueryControl deadlines/cancellation, spool-backed
+// spilling, structured engine::Error) into a thread-safe Execute() that
+// never OOMs and never crashes under overload. Overload degrades in a
+// fixed ladder (see "Admission" below): first new queries lose budget
+// headroom (forcing them to spill) and parallelism, then they queue, and
+// only then are they shed with ErrorCode::kAdmissionRejected.
+//
+// Threading model. Execute() is safe from any number of threads. A query
+// runs on its caller's thread after admission — the service adds no runner
+// pool of its own; parallelism inside a run still comes from the one
+// process-wide work-stealing scheduler (nal/scheduler.h), bounded per
+// query by the granted worker cap. Admission state (the reservation
+// ledger, the FIFO queue, the plan cache) lives behind one mutex; waits
+// tick every ~10ms so a queued query observes RequestCancel and deadline
+// expiry promptly.
+//
+// Admission. Each submission is compiled first (a cache hit makes this
+// free) and its cost-model footprint — the best plan's
+// PlanEstimate::peak_breaker_bytes — asks the ledger for a budget grant:
+//
+//   min_grant = min(64 KiB, max(B / max_concurrent, 1))      B = budget
+//   desired   = clamp(2 × footprint, min_grant, max(B/2, min_grant))
+//
+//   free >= desired     -> admit with the full grant
+//   free >= min_grant   -> admit with `free` (degraded: the shrunken
+//                          grant forces the run to spill instead of
+//                          keeping its breakers resident — shrink before
+//                          shed)
+//   otherwise           -> queue, FIFO, up to queue_depth deep
+//
+// The ledger invariant Σ grants ≤ B holds at every instant, so the
+// aggregate resident memory of all admitted queries never exceeds the
+// global budget (each run gets a private accountant of exactly its grant).
+// B = 0 means unlimited memory: admission bounds concurrency only.
+// Queued submissions are admitted in FIFO order (no overtaking); a
+// submission that would exceed queue_depth, or that waits past its queue
+// deadline, is shed with kAdmissionRejected — a structured result, never
+// an exception, never an OOM. Degraded admissions also drop to one worker
+// thread, as do admissions made while anyone queues behind them.
+//
+// Deadlines compose with queue time: the effective deadline (per-query
+// option, else the service default, else NALQ_DEADLINE_MS) is armed on the
+// run's QueryControl token at submission, so one budget of milliseconds
+// covers wait + run. A caller deadline that expires while queued returns
+// kDeadlineExceeded; the queue deadline (a service policy, default 1 s)
+// returns kAdmissionRejected; RequestCancel while queued returns
+// kCancelled. Engine::Run never re-arms a token that already carries a
+// deadline, so the environment default cannot silently refund queue time.
+//
+// Plan cache. Keyed on (query text, plan choice) and validated against
+// Store::version() — every AddDocument / RegisterDtd bumps the version
+// through the single-writer contract, so a hit is provably compiled
+// against the current documents and statistics. Entries hold the full
+// CompiledQuery by shared_ptr (concurrent hits share it; Engine::Run only
+// reads the plan). Capacity-bounded, least-recently-used eviction.
+// Compilation uses the service-wide budget (not the per-query grant) so
+// cost-based plan choice is deterministic across admissions and the cache
+// key stays budget-free.
+//
+// Store writes. Loading documents is NOT serialized by the service: the
+// store's single-writer contract stands. Load through engine().AddDocument
+// before serving, or Drain() first; Debug builds assert on violation
+// exactly as before.
+#ifndef NALQ_SERVICE_QUERY_SERVICE_H_
+#define NALQ_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "engine/error.h"
+#include "nal/query_control.h"
+
+namespace nalq::service {
+
+/// Service-wide policy. Fields left at 0 resolve, in order, to the named
+/// environment knob and then the built-in default (resolution happens once
+/// in the constructor; malformed knob text throws engine::Error(kPlanError)
+/// — see nal/env_knobs.h).
+struct ServiceOptions {
+  /// Global memory budget partitioned across in-flight queries.
+  /// 0 -> NALQ_MEMORY_BUDGET_BYTES -> unlimited.
+  uint64_t memory_budget_bytes = 0;
+  /// Maximum queries running at once. 0 -> NALQ_MAX_CONCURRENT ->
+  /// hardware_concurrency.
+  unsigned max_concurrent = 0;
+  /// Maximum queued (admitted-pending) submissions beyond the running set;
+  /// a submission past this depth is shed immediately.
+  /// 0 -> NALQ_QUEUE_DEPTH -> 16.
+  unsigned queue_depth = 0;
+  /// How long a submission may wait in the queue before it is shed with
+  /// kAdmissionRejected. 0 -> NALQ_QUEUE_DEADLINE_MS -> 1000.
+  uint64_t queue_deadline_ms = 0;
+  /// Worker-thread cap per query under ExecMode::kParallel (degraded and
+  /// contended admissions are further forced to 1). 0 = the engine's own
+  /// default (one per hardware core, budget-clamped by the exchange).
+  unsigned max_threads_per_query = 0;
+  /// Deadline applied to queries that don't carry their own.
+  /// 0 -> NALQ_DEADLINE_MS -> none.
+  uint64_t default_deadline_ms = 0;
+  /// Plan-cache capacity in entries; 0 disables caching.
+  size_t plan_cache_capacity = 64;
+};
+
+/// Per-submission options.
+struct QueryOptions {
+  engine::ExecMode mode = engine::ExecMode::kStreaming;
+  engine::PathMode path_mode = engine::PathMode::kIndexed;
+  engine::PlanChoice choice = engine::PlanChoice::kCost;
+  /// Requested worker threads (parallel mode); clamped by the service.
+  unsigned threads = 0;
+  /// Deadline covering queue wait + run; 0 = the service default.
+  uint64_t deadline_ms = 0;
+  /// Caller-owned cancellation token, honored while queued and while
+  /// running; must outlive Execute(). Null = the service uses its own.
+  nal::QueryControl* control = nullptr;
+};
+
+/// Structured outcome. Failures are results, not exceptions: Execute()
+/// only throws for misuse the engine would also throw for on a serial run
+/// (e.g. a malformed environment knob at construction).
+struct QueryResult {
+  bool ok = false;
+  std::string output;       ///< byte-identical to a serial Engine run
+  nal::EvalStats stats;     ///< meaningful when ok
+
+  /// Failure taxonomy (meaningful when !ok).
+  engine::ErrorCode error_code = engine::ErrorCode::kPlanError;
+  std::string error_what;   ///< full engine::Error::what() text
+
+  // Admission diagnostics (always filled).
+  bool cache_hit = false;   ///< plan came from the cache
+  bool queued = false;      ///< waited in the admission queue
+  bool degraded = false;    ///< shrunken budget grant and/or forced serial
+  unsigned threads_granted = 0;   ///< 0 = engine default
+  uint64_t budget_granted = 0;    ///< private accountant limit; 0 = unlimited
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// Monotonic service counters (snapshot; see QueryService::stats()).
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;        ///< actually started running
+  uint64_t completed = 0;       ///< ran to success
+  uint64_t failed = 0;          ///< ran and raised (spool fault, ...)
+  uint64_t rejected_queue_full = 0;      ///< shed at submission
+  uint64_t rejected_queue_deadline = 0;  ///< shed while waiting
+  uint64_t cancelled = 0;       ///< kCancelled (queued or running)
+  uint64_t deadline_expired = 0;///< kDeadlineExceeded (queued or running)
+  uint64_t degraded = 0;        ///< admitted with a shrunken grant
+  uint64_t queued = 0;          ///< admissions that waited at all
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t peak_in_flight = 0;
+  uint64_t peak_reserved_bytes = 0;
+  /// rejected_queue_full + rejected_queue_deadline.
+  uint64_t shed() const {
+    return rejected_queue_full + rejected_queue_deadline;
+  }
+};
+
+class QueryService {
+ public:
+  /// `engine` must outlive the service. Resolves every 0-valued option
+  /// from the environment (throws engine::Error(kPlanError) on malformed
+  /// knob text, naming the variable and the offending value).
+  explicit QueryService(engine::Engine& engine, ServiceOptions options = {});
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Compiles (or cache-hits), admits, runs, and returns a structured
+  /// result. Blocking; safe from any number of threads concurrently.
+  QueryResult Execute(const std::string& query_text, QueryOptions q = {});
+
+  /// Blocks until no query is running or queued. With the ledger invariant
+  /// this is the quiescent point where reserved_bytes() == 0 and the spool
+  /// layer has deleted every temp file (asserted by tests/service_test.cpp).
+  void Drain();
+
+  /// Drops every cached plan (version mismatches already self-invalidate;
+  /// this reclaims the memory too).
+  void InvalidateCache();
+
+  engine::Engine& engine() { return engine_; }
+  const ServiceOptions& options() const { return options_; }
+  ServiceStats stats() const;
+  /// Currently admitted (running) queries.
+  unsigned in_flight() const;
+  /// Sum of outstanding budget grants (≤ options().memory_budget_bytes).
+  uint64_t reserved_bytes() const;
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const engine::CompiledQuery> compiled;
+    uint64_t store_version = 0;
+    uint64_t last_used = 0;  ///< LRU tick
+  };
+  struct Admission {
+    bool admitted = false;
+    bool degraded = false;
+    bool queued = false;
+    uint64_t grant = 0;
+    unsigned threads = 0;
+    engine::ErrorCode reject_code = engine::ErrorCode::kAdmissionRejected;
+    std::string reject_what;
+  };
+
+  std::shared_ptr<const engine::CompiledQuery> CompileCached(
+      const std::string& query_text, engine::PlanChoice choice,
+      bool* cache_hit);
+  /// Footprint of `compiled.best` per the cost model (0 when estimates are
+  /// unavailable — the plan is then admitted at min_grant).
+  static uint64_t Footprint(const engine::CompiledQuery& compiled);
+  Admission Admit(uint64_t footprint, unsigned requested_threads,
+                  nal::QueryControl* control,
+                  nal::QueryControl::Clock::time_point queue_deadline);
+  void Release(uint64_t grant);
+
+  engine::Engine& engine_;
+  ServiceOptions options_;  ///< fully resolved (no zeros with env defaults)
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned active_ = 0;
+  uint64_t reserved_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> queue_;  ///< FIFO of waiting tickets
+
+  std::unordered_map<std::string, CacheEntry> cache_;
+  uint64_t cache_tick_ = 0;
+
+  ServiceStats stats_;  ///< guarded by mu_
+};
+
+}  // namespace nalq::service
+
+#endif  // NALQ_SERVICE_QUERY_SERVICE_H_

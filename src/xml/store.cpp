@@ -53,6 +53,7 @@ DocId Store::AddDocument(Document doc) {
   stats_[id]->ready.store(nullptr, std::memory_order_release);
   stats_[id]->stats.reset();
   stats_[id]->retired.clear();
+  BumpVersion();
   return id;
 }
 

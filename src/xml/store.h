@@ -108,6 +108,17 @@ class Store {
     return open_readers_.load(std::memory_order_relaxed);
   }
 
+  /// Monotonic content version: bumped by every AddDocument (and by
+  /// BumpVersion for out-of-store changes that affect compilation, e.g. a
+  /// DTD registration — Engine::RegisterDtd calls it). Anything derived
+  /// from store contents or statistics — the query service's plan cache in
+  /// particular — keys on this and treats a mismatch as stale. Writes ride
+  /// the single-writer contract; reads are a relaxed load.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_relaxed); }
+
  private:
   /// One lazily built index. The unique_ptr owns the storage; `ready`
   /// republishes it to readers without taking the build mutex on hits.
@@ -136,6 +147,7 @@ class Store {
   mutable std::mutex index_build_mu_;
   mutable std::mutex stats_build_mu_;
   mutable std::atomic<int> open_readers_{0};
+  std::atomic<uint64_t> version_{0};
 };
 
 /// RAII reader registration: every evaluation entry point (Evaluator::Eval,
