@@ -17,7 +17,8 @@ namespace {
 double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
                     int repeats, engine::ExecMode mode,
                     engine::PathMode path_mode, nal::EvalStats* stats,
-                    unsigned threads = 0, uint64_t budget = 0) {
+                    unsigned threads = 0, uint64_t budget = 0,
+                    nal::StreamStats* exec = nullptr) {
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     auto start = std::chrono::steady_clock::now();
@@ -25,6 +26,7 @@ double TimePlanImpl(const engine::Engine& engine, const nal::AlgebraPtr& plan,
         engine.Run(plan, mode, path_mode, threads, budget);
     auto end = std::chrono::steady_clock::now();
     if (stats != nullptr) *stats = result.stats;
+    if (exec != nullptr) *exec = result.exec;
     double s = std::chrono::duration<double>(end - start).count();
     times.push_back(s);
     if (s > 2.0) break;  // slow plan: one measurement is informative enough
@@ -140,7 +142,10 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"spilled_bytes\":" << r.stats.spill.spilled_bytes
       << ",\"spill_runs\":" << r.stats.spill.spill_runs
       << ",\"repartitions\":" << r.stats.spill.repartitions
-      << ",\"merge_passes\":" << r.stats.spill.merge_passes;
+      << ",\"merge_passes\":" << r.stats.spill.merge_passes
+      << ",\"shared_probe_breakers\":" << r.exec.shared_probe_breakers
+      << ",\"gamma_partitions\":" << r.exec.gamma_partitions
+      << ",\"exchange_dop\":" << r.exec.exchange_dop;
   char est[64];
   std::snprintf(est, sizeof(est), "%.3f", r.est_cost);
   out << ",\"est_cost\":" << est;
@@ -148,6 +153,8 @@ std::string RecordLine(const BenchRecord& r) {
   out << ",\"est_rows\":" << est
       << ",\"chosen_by_cost\":" << r.chosen_by_cost
       << ",\"chosen_by_priority\":" << r.chosen_by_priority;
+  std::snprintf(est, sizeof(est), "%.3f", r.actual_rows);
+  out << ",\"actual_rows\":" << est;
   std::snprintf(est, sizeof(est), "%.3f", r.qps);
   out << ",\"qps\":" << est;
   std::snprintf(est, sizeof(est), "%.3f", r.p50_ms);
@@ -236,8 +243,8 @@ double TimePlanRecorded(const engine::Engine& engine,
                                                     : "materializing";
       r.path =
           path_mode == engine::PathMode::kIndexed ? "indexed" : "scan";
-      r.seconds =
-          TimePlanImpl(engine, plan, repeats, mode, path_mode, &r.stats);
+      r.seconds = TimePlanImpl(engine, plan, repeats, mode, path_mode,
+                               &r.stats, /*threads=*/0, /*budget=*/0, &r.exec);
       if (mode == engine::ExecMode::kStreaming &&
           path_mode == engine::PathMode::kIndexed) {
         default_seconds = r.seconds;
@@ -257,7 +264,8 @@ double TimePlanRecorded(const engine::Engine& engine,
     r.path = "indexed";
     r.threads = threads;
     r.seconds = TimePlanImpl(engine, plan, repeats, engine::ExecMode::kParallel,
-                             engine::PathMode::kIndexed, &r.stats, threads);
+                             engine::PathMode::kIndexed, &r.stats, threads,
+                             /*budget=*/0, &r.exec);
     RecordBench(std::move(r));
   }
   // Memory-budget sweep over the budget-aware executors (nal/spool.h). One
@@ -273,7 +281,7 @@ double TimePlanRecorded(const engine::Engine& engine,
       r.seconds = TimePlanImpl(engine, plan, /*repeats=*/1,
                                engine::ExecMode::kStreaming,
                                engine::PathMode::kIndexed, &r.stats,
-                               /*threads=*/0, budget);
+                               /*threads=*/0, budget, &r.exec);
       RecordBench(std::move(r));
     }
     for (unsigned threads : {1u, 4u}) {
@@ -285,7 +293,7 @@ double TimePlanRecorded(const engine::Engine& engine,
       r.seconds = TimePlanImpl(engine, plan, /*repeats=*/1,
                                engine::ExecMode::kParallel,
                                engine::PathMode::kIndexed, &r.stats, threads,
-                               budget);
+                               budget, &r.exec);
       RecordBench(std::move(r));
     }
   }
@@ -293,12 +301,20 @@ double TimePlanRecorded(const engine::Engine& engine,
 }
 
 void RecordPlanEstimates(const engine::CompiledQuery& q,
-                         const std::string& bench, const std::string& size) {
+                         const std::string& bench, const std::string& size,
+                         const engine::Engine* engine) {
   if (q.alternatives.size() != q.estimates.size()) return;
   // Bench loops recompile the same query per plan/parameter; one estimate
   // record set per (experiment, size) is enough.
   static std::set<std::string> recorded;
   if (!recorded.insert(bench + "/" + size).second) return;
+  // Measured rows for the cost-chosen plan (one streaming run): the
+  // estimate-vs-actual drift row the calibration workflow watches.
+  double actual_rows = -1;
+  if (engine != nullptr && q.cost_choice < q.alternatives.size()) {
+    actual_rows = static_cast<double>(
+        engine->Run(q.alternatives[q.cost_choice].plan).root_tuples);
+  }
   // The priority policy's winner among the enumerated alternatives (the
   // paper's most-restrictive-rule ranking; for the single-block paper
   // benches this is exactly Unnester::Best).
@@ -320,6 +336,7 @@ void RecordPlanEstimates(const engine::CompiledQuery& q,
     r.est_rows = q.estimates[i].rows;
     r.chosen_by_cost = i == q.cost_choice ? 1 : 0;
     r.chosen_by_priority = i == priority_choice ? 1 : 0;
+    if (i == q.cost_choice) r.actual_rows = actual_rows;
     RecordBench(std::move(r));
   }
 }

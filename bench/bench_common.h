@@ -42,6 +42,11 @@ struct BenchRecord {
   uint64_t budget = 0;    ///< memory_budget_bytes (0 = unlimited)
   double seconds = 0;
   nal::EvalStats stats;   ///< stats.spill reports the budgeted runs' spilling
+  /// Executor-private streaming counters from one run (nal/cursor.h). The
+  /// parallel-breaker fields — shared_probe_breakers, gamma_partitions,
+  /// exchange_dop — land in BENCH_results.json so CI can assert the
+  /// parallel runs actually took the parallel-breaker paths.
+  nal::StreamStats exec;
 
   // Optimizer fields, set on mode == "estimate" records (-1 otherwise):
   // the cost model's view of the plan named by `plan` (here the rewrite
@@ -51,6 +56,11 @@ struct BenchRecord {
   double est_rows = -1;        ///< estimated output rows
   int chosen_by_cost = -1;     ///< 1 = PlanChoice::kCost picked this plan
   int chosen_by_priority = -1; ///< 1 = rule-priority ranking would pick it
+  /// Measured root tuples for the plan the estimate record describes
+  /// (RecordPlanEstimates runs the chosen alternative once when handed the
+  /// engine), so estimate-vs-actual row accuracy — the drift signal the
+  /// calibration workflow watches — is computable from the JSON alone.
+  double actual_rows = -1;
 
   // Service fields, set on mode == "service" records (-1 otherwise): one
   // record summarizes a sustained open-loop run against the concurrent
@@ -112,8 +122,14 @@ double TimeCancelRecorded(const engine::Engine& engine,
 /// and the two choice flags — so BENCH_results.json reports
 /// estimated-vs-measured accuracy and whether cost-based choice picks the
 /// empirically fastest alternative (see EXPERIMENTS.md PR 5 notes).
+///
+/// When `engine` is non-null the cost-chosen alternative is additionally
+/// run once (streaming) and its record carries the measured root-tuple
+/// count in `actual_rows`, the estimate-vs-actual drift signal of the
+/// calibration workflow (src/opt/README.md).
 void RecordPlanEstimates(const engine::CompiledQuery& q,
-                         const std::string& bench, const std::string& size);
+                         const std::string& bench, const std::string& size,
+                         const engine::Engine* engine = nullptr);
 
 /// Formats seconds the way the paper's tables do ("0.08 s", "7.04 s").
 std::string FormatSeconds(double s);

@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
     engine.AddDocument("dblp.xml", datagen::GenerateDblp(options));
     engine.RegisterDtd("dblp.xml", datagen::kDblpDtd);
     engine::CompiledQuery q = engine.Compile(kQuery);
-    bench::RecordPlanEstimates(q, "E1b", std::to_string(size));
+    bench::RecordPlanEstimates(q, "E1b", std::to_string(size), &engine);
     if (q.Find("eqv5-grouping") != nullptr) {
       std::printf(
           "ERROR: Eqv.5 fired on DBLP — the side condition check is "

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
         engine::Engine engine;
         bench::LoadBib(&engine, size, apb);
         engine::CompiledQuery q = engine.Compile(kQuery);
-      bench::RecordPlanEstimates(q, "E1", std::to_string(size));
+      bench::RecordPlanEstimates(q, "E1", std::to_string(size), &engine);
         const rewrite::Alternative* alt = q.Find(rule);
         if (alt == nullptr) {
           row.cells.push_back("n/a");

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       engine::Engine engine;
       bench::LoadBibAndReviews(&engine, size);
       engine::CompiledQuery q = engine.Compile(kQuery);
-      bench::RecordPlanEstimates(q, "E3", std::to_string(size));
+      bench::RecordPlanEstimates(q, "E3", std::to_string(size), &engine);
       const rewrite::Alternative* alt = q.Find(rule);
       if (alt == nullptr) {
         row.cells.push_back("n/a");

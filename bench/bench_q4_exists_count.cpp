@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
     engine::Engine engine;
     bench::LoadBib(&engine, size, 2);
     engine::CompiledQuery q = engine.Compile(kQuery);
-    bench::RecordPlanEstimates(q, "E4", std::to_string(size));
+    bench::RecordPlanEstimates(q, "E4", std::to_string(size), &engine);
     // nested
     if (size > 1000 && !full) {
       double ratio =

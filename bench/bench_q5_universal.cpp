@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       engine::Engine engine;
       bench::LoadBib(&engine, size, 2);
       engine::CompiledQuery q = engine.Compile(kQuery);
-      bench::RecordPlanEstimates(q, "E5", std::to_string(size));
+      bench::RecordPlanEstimates(q, "E5", std::to_string(size), &engine);
       const rewrite::Alternative* alt = q.Find(rule);
       if (alt == nullptr) {
         row.cells.push_back("n/a");

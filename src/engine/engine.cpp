@@ -4,6 +4,7 @@
 #include "nal/exchange.h"
 #include "nal/spool.h"
 #include "opt/chooser.h"
+#include "opt/parallel.h"
 #include "xml/parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -98,13 +99,25 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
     control->SetDeadlineMs(effective_deadline);
   }
   evaluator.set_control(control);
+  RunResult result;
   switch (mode) {
     case ExecMode::kStreaming: {
       if (memory_budget_bytes != 0) {
         nal::SpoolContext spool(memory_budget_bytes);
-        nal::DrainStreaming(evaluator, *plan, nullptr, &spool);
+        // Grace-admission row hints (opt/parallel.h): the estimation walk
+        // is cheap (plan-sized), and sizing partition counts from expected
+        // build volume instead of the static budget/32KB rule needs it.
+        // max_threads=1 skips the placement search; only the hints matter.
+        xml::StoreReadLease lease(store_);
+        opt::ParallelPlacement hints = opt::ChooseParallelPlacement(
+            store_, *plan, /*max_threads=*/1, memory_budget_bytes);
+        spool.set_row_hints(&hints.breaker_build_rows);
+        result.root_tuples =
+            nal::DrainStreaming(evaluator, *plan, &result.exec, &spool);
       } else {
-        nal::DrainStreaming(evaluator, *plan);  // env default may apply
+        // env default budget may apply inside
+        result.root_tuples =
+            nal::DrainStreaming(evaluator, *plan, &result.exec);
       }
       break;
     }
@@ -112,14 +125,28 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
       nal::ParallelOptions options;
       options.threads = threads;
       options.memory_budget_bytes = memory_budget_bytes;
-      nal::DrainParallel(evaluator, *plan, options);
+      // Cost-driven placement (opt/parallel.h): pick the partition point
+      // and dop by price instead of the hard-coded deepest-segment rule.
+      // The chooser sees the budget the executors will run under; its
+      // placement points into `plan`, which outlives the run.
+      uint64_t effective_budget = memory_budget_bytes != 0
+                                      ? memory_budget_bytes
+                                      : nal::SpoolContext::EnvBudgetBytes();
+      xml::StoreReadLease lease(store_);
+      opt::ParallelPlacement place = opt::ChooseParallelPlacement(
+          store_, *plan, threads, effective_budget);
+      options.point = place.point;
+      options.point_resolved = true;
+      if (place.point.has_value()) options.threads = place.dop;
+      options.breaker_row_hints = &place.breaker_build_rows;
+      result.root_tuples =
+          nal::DrainParallel(evaluator, *plan, options, &result.exec);
       break;
     }
     case ExecMode::kMaterializing:
-      evaluator.Eval(*plan);
+      result.root_tuples = evaluator.Eval(*plan).size();
       break;
   }
-  RunResult result;
   result.output = evaluator.output();
   result.stats = evaluator.stats();
   return result;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/error.h"
+#include "nal/cursor.h"
 #include "nal/eval.h"
 #include "nal/query_control.h"
 #include "opt/cost.h"
@@ -63,6 +64,14 @@ struct CompiledQuery {
 struct RunResult {
   std::string output;
   nal::EvalStats stats;
+  /// Executor-private streaming bookkeeping (nal/cursor.h): breaker
+  /// buffering plus the parallel-breaker counters (shared-probe builds, Γ
+  /// partitions, widest exchange dop). Unlike `stats`, NOT part of the
+  /// byte-identical cross-executor contract; all zero under kMaterializing.
+  nal::StreamStats exec;
+  /// Root tuples the run produced — the "actual rows" the benchmark
+  /// harness compares against the optimizer's row estimate.
+  uint64_t root_tuples = 0;
 };
 
 /// Which executor evaluates a plan. All three produce byte-identical output

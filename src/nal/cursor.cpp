@@ -955,6 +955,175 @@ CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx) {
   return MakeOpCursor(op, ctx);
 }
 
+// ---------------------------------------------------------------------------
+// Shared-build parallel probe (cursor.h): consumer-built read-only right
+// sides + the per-worker probe cursor over them.
+// ---------------------------------------------------------------------------
+
+struct SharedJoinBuild {
+  const AlgebraOp* op = nullptr;
+  Sequence right;
+  std::optional<EquiPredicate> equi;  ///< join family; binary-Γ uses op attrs
+  HashIndex index;
+  bool indexed = false;             ///< index built (equi join or '='-nest)
+  std::vector<Symbol> null_attrs;   ///< outer join ⊥ padding
+  Value dflt;                       ///< outer join default
+  bool released = false;
+};
+
+namespace {
+
+bool IsProbeKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCross:
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+    case OpKind::kGroupBinary:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One worker's probe cursor: the JoinProbeLoops access policy backed by a
+/// shared, immutable build instead of a privately materialized one. The
+/// loops' per-left-tuple state lives in the cursor (worker-private); the
+/// build is only ever read.
+class SharedProbeCursor final : public Cursor {
+ public:
+  SharedProbeCursor(const AlgebraOp& op, ExecContext& ctx, CursorPtr input,
+                    const SharedJoinBuild& build)
+      : op_(op), ctx_(ctx), input_(std::move(input)), build_(build) {}
+  void Open() override {
+    input_->Open();
+    loops_.Reset();
+    scan_pos_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    switch (op_.kind) {
+      case OpKind::kCross:
+      case OpKind::kJoin:
+        return loops_.NextCrossJoin(*this, out);
+      case OpKind::kSemiJoin:
+      case OpKind::kAntiJoin:
+        return loops_.NextSemiAnti(*this, out);
+      case OpKind::kOuterJoin:
+        return loops_.NextOuter(*this, out);
+      case OpKind::kGroupBinary:
+        return loops_.NextGroupBinary(*this, out);
+      default:
+        throw std::logic_error("SharedProbeCursor: not a probe operator");
+    }
+  }
+  void Close() override { input_->Close(); }
+
+  // probe::JoinProbeLoops access policy (nal/probe_loops.h).
+  ExecContext& ctx() { return ctx_; }
+  const AlgebraOp& op() const { return op_; }
+  bool LeftNext(Tuple* out) { return input_->Next(out); }
+  bool use_index() const { return build_.indexed; }
+  const HashIndex& hash_index() const { return build_.index; }
+  const Expr* residual() const {
+    return build_.equi.has_value() ? build_.equi->residual.get() : nullptr;
+  }
+  std::span<const Symbol> probe_attrs() const {
+    return op_.kind == OpKind::kGroupBinary
+               ? std::span<const Symbol>(op_.left_attrs)
+               : std::span<const Symbol>(build_.equi->left_attrs);
+  }
+  const Tuple& right_at(uint32_t pos) const { return build_.right[pos]; }
+  void ScanRestart() { scan_pos_ = 0; }
+  bool ScanNext(const Tuple** r) {
+    if (scan_pos_ >= build_.right.size()) return false;
+    *r = &build_.right[scan_pos_++];
+    return true;
+  }
+  const std::vector<Symbol>& outer_null_attrs() const {
+    return op_.kind == OpKind::kGroupBinary ? op_.attrs : build_.null_attrs;
+  }
+  const Value& outer_default() const { return build_.dflt; }
+
+ private:
+  const AlgebraOp& op_;
+  ExecContext& ctx_;
+  CursorPtr input_;
+  const SharedJoinBuild& build_;
+  probe::JoinProbeLoops<SharedProbeCursor> loops_;
+  size_t scan_pos_ = 0;
+};
+
+}  // namespace
+
+bool IsProbePartitionableOp(const AlgebraOp& op) {
+  if (!IsProbeKind(op.kind)) return false;
+  // Same worker-safety conditions as IsPartitionableOp — workers evaluate
+  // the residual/θ predicates — plus a Ξ-free build subtree: the build runs
+  // once on the consumer during exchange Open, which matches the serial
+  // cursor's Open cascade only when that evaluation writes no output.
+  return op.cse_id < 0 && !SubscriptsContainXi(op) &&
+         !SubscriptsContainCse(op) && !ContainsXi(*op.child(1));
+}
+
+bool IsGammaPartitionableOp(const AlgebraOp& op) {
+  if (op.kind != OpKind::kGroupUnary) return false;
+  // θ-grouping rescans the whole input per key — no partitioning. Under
+  // '=', hash-partitioning by the full group key puts every group entirely
+  // in one partition, so any aggregate (min/max/sum/count/id...) works
+  // without partial-state merging.
+  if (op.theta != CmpOp::kEq) return false;
+  return op.cse_id < 0 && !SubscriptsContainXi(op) &&
+         !SubscriptsContainCse(op);
+}
+
+SharedJoinBuildPtr BuildSharedJoin(const AlgebraOp& op, ExecContext& ctx) {
+  auto b = std::make_shared<SharedJoinBuild>();
+  b->op = &op;
+  CursorPtr right = MakeCursor(*op.child(1), ctx);
+  b->right = Materialize(*right);
+  if (ctx.stream != nullptr) ctx.stream->OnBuffer(b->right.size());
+  if (op.kind == OpKind::kGroupBinary) {
+    if (op.theta == CmpOp::kEq) {
+      b->index.Build(b->right, op.right_attrs, ctx.ev->store());
+      b->indexed = true;
+    } else if (op.left_attrs.size() != 1) {
+      throw engine::Error(engine::ErrorCode::kPlanError,
+                          "theta nest-join requires a single attribute", 0, {},
+                          "GroupBinary");
+    }
+  } else if (op.kind != OpKind::kCross) {
+    SymbolSet lattrs = OutputAttrs(*op.child(0)).attrs;
+    SymbolSet rattrs = OutputAttrs(*op.child(1)).attrs;
+    b->equi = ExtractEquiPredicate(op.pred, lattrs, rattrs);
+    if (b->equi.has_value()) {
+      b->index.Build(b->right, b->equi->right_attrs, ctx.ev->store());
+      b->indexed = true;
+    }
+  }
+  if (op.kind == OpKind::kOuterJoin) {
+    AttrInfo info = OutputAttrs(*op.child(1));
+    for (Symbol a : info.attrs) {
+      if (a != op.attr) b->null_attrs.push_back(a);
+    }
+    b->dflt = op.expr != nullptr
+                  ? ctx.ev->EvalExpr(*op.expr, Tuple(), *ctx.env)
+                  : Value::Null();
+  }
+  return b;
+}
+
+void ReleaseSharedJoin(SharedJoinBuild& build, ExecContext& ctx) {
+  if (build.released) return;
+  build.released = true;
+  if (ctx.stream != nullptr) ctx.stream->OnRelease(build.right.size());
+}
+
+CursorPtr MakeProbeCursorOver(const AlgebraOp& op, ExecContext& ctx,
+                              CursorPtr input, const SharedJoinBuild& build) {
+  return std::make_unique<SharedProbeCursor>(op, ctx, std::move(input), build);
+}
+
 bool IsPartitionableOp(const AlgebraOp& op) {
   switch (op.kind) {
     case OpKind::kSelect:

@@ -1,15 +1,22 @@
 #include "nal/exchange.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "nal/env_knobs.h"
+#include "nal/physical.h"
+#include "nal/probe_loops.h"
 #include "nal/scheduler.h"
 #include "nal/spool.h"
 
@@ -19,6 +26,16 @@ namespace {
 
 unsigned ResolveThreads(unsigned requested) {
   if (requested != 0) return requested;
+  // NALQ_THREADS supplies the degree-of-parallelism default the same way
+  // NALQ_MEMORY_BUDGET_BYTES supplies the budget: unset/empty falls through
+  // to one worker per hardware core, a malformed value fails loudly with
+  // kPlanError (env_knobs.h) instead of silently becoming "serial". Read
+  // per call (not cached) so tests can vary it within one process.
+  uint64_t env = EnvKnobU64("NALQ_THREADS", 0);
+  if (env != 0) {
+    return static_cast<unsigned>(
+        std::min<uint64_t>(env, std::numeric_limits<unsigned>::max()));
+  }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -173,6 +190,28 @@ class MergeCursor final : public Cursor {
                                   options_.memory_budget_bytes);
     Scheduler::Global().EnsureThreads(dop_);
     state_ = std::make_shared<ExchangeState>();
+    // The source subtree opens BEFORE any shared build, and the builds run
+    // deepest-first — exactly the serial Open cascade (recursion reaches
+    // the deepest child, then unwinds building each breaker on the way
+    // up), so Ξ writes and CSE materializations inside the source subtree
+    // keep their serial positions relative to the builds.
+    source_ = MakeCursor(*point_.source, ctx_);
+    source_->Open();
+    source_open_ = true;
+    source_done_ = false;
+    shared_builds_.assign(point_.segment.size(), nullptr);
+    for (size_t i = point_.segment.size(); i-- > 0;) {
+      const AlgebraOp& seg_op = *point_.segment[i];
+      if (!IsPartitionableOp(seg_op)) {
+        shared_builds_[i] = BuildSharedJoin(seg_op, ctx_);
+      }
+    }
+    if (ctx_.stream != nullptr) {
+      if (dop_ > ctx_.stream->exchange_dop) ctx_.stream->exchange_dop = dop_;
+      for (const SharedJoinBuildPtr& b : shared_builds_) {
+        if (b != nullptr) ++ctx_.stream->shared_probe_breakers;
+      }
+    }
     for (unsigned w = 0; w < dop_; ++w) {
       auto wp = std::make_unique<WorkerPipeline>();
       wp->ev = std::make_unique<Evaluator>(ctx_.ev->store());
@@ -195,6 +234,10 @@ class MergeCursor final : public Cursor {
         // one: Open() runs on the consumer thread, but the worker contexts
         // must fault (or not) with the run they belong to.
         wp->spool->set_injector(ctx_.spool->injector());
+        // And its grace-admission row hints, keyed by shared plan nodes.
+        if (ctx_.spool->row_hints() != nullptr) {
+          wp->spool->set_row_hints(ctx_.spool->row_hints());
+        }
       }
       wp->ctx = ExecContext{wp->ev.get(), &wp->env, nullptr,
                             wp->spool != nullptr && wp->spool->enabled()
@@ -203,18 +246,19 @@ class MergeCursor final : public Cursor {
       auto leaf = std::make_unique<PartitionCursor>();
       wp->leaf = leaf.get();
       CursorPtr chain = std::move(leaf);
-      for (auto it = point_.segment.rbegin(); it != point_.segment.rend();
-           ++it) {
-        chain = MakeCursorOver(**it, wp->ctx, std::move(chain));
+      for (size_t i = point_.segment.size(); i-- > 0;) {
+        const AlgebraOp& seg_op = *point_.segment[i];
+        if (shared_builds_[i] != nullptr) {
+          chain = MakeProbeCursorOver(seg_op, wp->ctx, std::move(chain),
+                                      *shared_builds_[i]);
+        } else {
+          chain = MakeCursorOver(seg_op, wp->ctx, std::move(chain));
+        }
       }
       wp->pipeline = std::move(chain);
       state_->idle.push_back(wp.get());
       state_->pipelines.push_back(std::move(wp));
     }
-    source_ = MakeCursor(*point_.source, ctx_);
-    source_->Open();
-    source_open_ = true;
-    source_done_ = false;
     next_ticket_ = 0;
     total_dispatched_ = 0;
     current_.clear();
@@ -256,6 +300,9 @@ class MergeCursor final : public Cursor {
       for (const auto& wp : state_->pipelines) {
         ctx_.ev->stats() += wp->ev->stats();
       }
+    }
+    for (const SharedJoinBuildPtr& b : shared_builds_) {
+      if (b != nullptr) ReleaseSharedJoin(*b, ctx_);
     }
   }
 
@@ -404,6 +451,11 @@ class MergeCursor final : public Cursor {
   const ParallelOptions options_;
   unsigned dop_ = 1;
 
+  /// Consumer-built read-only build sides, aligned with point_.segment
+  /// (null for per-tuple segment operators). Declared before state_ so the
+  /// worker pipelines (in state_) are destroyed first.
+  std::vector<SharedJoinBuildPtr> shared_builds_;
+
   std::shared_ptr<ExchangeState> state_;
   CursorPtr source_;
   bool source_open_ = false;
@@ -420,43 +472,331 @@ class MergeCursor final : public Cursor {
   size_t cpos_ = 0;
 };
 
+/// One routed Γ input record: the tuple, its group key, and its global
+/// position — `seq` over input tuples, `ordinal` over that tuple's keys
+/// (a sequence-valued key fans one tuple into several groups; GammaBuckets
+/// visits them in key order, so (seq, ordinal) is the serial
+/// first-occurrence order of groups).
+struct GammaRec {
+  uint64_t seq;
+  uint32_t ordinal;
+  Key key;
+  Tuple tuple;
+};
+
+/// One partition's aggregation worker: a private Evaluator (stats folded at
+/// Close) producing (first_seq, first_ordinal, result) triples.
+struct GammaWorker {
+  std::unique_ptr<Evaluator> ev;
+  Tuple env;
+  std::vector<GammaRec> part;  ///< input records, global order
+  struct Result {
+    uint64_t first_seq;
+    uint32_t first_ordinal;
+    Tuple tuple;
+  };
+  std::vector<Result> results;
+  std::exception_ptr error;
+};
+
+struct GammaState {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t dispatched = 0;
+  size_t finished = 0;
+  std::atomic<bool> abort{false};
+};
+
+void RunGammaTask(const std::shared_ptr<GammaState>& state, GammaWorker* w,
+                  const AlgebraOp* g) {
+  if (!state->abort.load(std::memory_order_acquire)) {
+    try {
+      // Bucket in local first-occurrence order. Records are partition-
+      // private copies, so members always move (value-equal to the serial
+      // cursor's move-unless-multi-key policy).
+      struct LocalGroup {
+        uint64_t first_seq;
+        uint32_t first_ordinal;
+        Sequence members;
+      };
+      std::unordered_map<Key, size_t, KeyHash> idx;
+      std::vector<Key> order;
+      std::vector<LocalGroup> groups;
+      for (GammaRec& r : w->part) {
+        auto [it, inserted] = idx.try_emplace(r.key, groups.size());
+        if (inserted) {
+          groups.push_back(LocalGroup{r.seq, r.ordinal, {}});
+          order.push_back(std::move(r.key));
+        }
+        groups[it->second].members.Append(std::move(r.tuple));
+      }
+      w->part.clear();
+      ExecContext wctx{w->ev.get(), &w->env, nullptr, nullptr};
+      for (size_t i = 0; i < groups.size(); ++i) {
+        Tuple result;
+        for (size_t j = 0; j < g->left_attrs.size(); ++j) {
+          result.Set(g->left_attrs[j], order[i].values[j]);
+        }
+        result.Set(g->attr, w->ev->ApplyAgg(g->agg, std::move(groups[i].members),
+                                            w->env));
+        probe::CountProducedTuple(wctx);
+        w->results.push_back(GammaWorker::Result{
+            groups[i].first_seq, groups[i].first_ordinal, std::move(result)});
+      }
+    } catch (...) {
+      w->error = std::current_exception();
+      w->results.clear();
+      state->abort.store(true, std::memory_order_release);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->finished;
+  }
+  state->cv.notify_all();
+}
+
+/// Partitioned pre-aggregation for the `gamma` of a PartitionPoint (a unary
+/// Γ over '='). The consumer drains the Γ input — through a MergeCursor
+/// when the point also carries a partitionable segment — and routes each
+/// tuple to one of `dop` partitions by group-key hash, so every group lives
+/// entirely in one partition and ANY aggregate works without partial-state
+/// merging. One scheduler task per non-empty partition buckets and
+/// aggregates with a private Evaluator; the consumer merges results by
+/// global first-occurrence position, which reproduces the serial ΠD
+/// emission order byte for byte. Workers count ApplyAgg work and produced
+/// groups on their own stats, folded at Close — merged EvalStats equal the
+/// serial run's.
+class GammaExchangeCursor final : public Cursor {
+ public:
+  GammaExchangeCursor(const PartitionPoint& point, ExecContext& ctx,
+                      const ParallelOptions& options)
+      : point_(point), ctx_(ctx), options_(options) {}
+
+  ~GammaExchangeCursor() override { WaitForTasks(); }
+
+  void Open() override {
+    const AlgebraOp& g = *point_.gamma;
+    dop_ = ResolveBudgetedThreads(options_.threads,
+                                  options_.memory_budget_bytes);
+    Scheduler::Global().EnsureThreads(dop_);
+    CursorPtr input;
+    if (point_.top != nullptr) {
+      PartitionPoint inner = point_;
+      inner.gamma = nullptr;
+      input = std::make_unique<MergeCursor>(inner, ctx_, options_);
+    } else {
+      input = MakeCursor(*point_.source, ctx_);
+    }
+    workers_.clear();
+    for (unsigned p = 0; p < dop_; ++p) {
+      workers_.push_back(std::make_unique<GammaWorker>());
+    }
+    {
+      Tuple t;
+      std::vector<Key> keys;
+      uint64_t seq = 0;
+      input->Open();
+      while (input->Next(&t)) {
+        MakeKeysInto(t, g.left_attrs, ctx_.ev->store(), &keys);
+        for (size_t k = 0; k < keys.size(); ++k) {
+          size_t p = KeyHash{}(keys[k]) % dop_;
+          ++routed_;
+          // The last key takes the tuple by move; earlier keys (a
+          // sequence-valued key fanning into several groups) copy it, like
+          // GammaBuckets' multi-key path.
+          workers_[p]->part.push_back(
+              GammaRec{seq, static_cast<uint32_t>(k), std::move(keys[k]),
+                       k + 1 == keys.size() ? std::move(t) : t});
+        }
+        ++seq;
+      }
+      input->Close();
+    }
+    if (ctx_.stream != nullptr) {
+      if (routed_ > 0) {
+        ctx_.stream->OnBuffer(routed_);
+        routed_charged_ = true;
+      }
+      if (dop_ > ctx_.stream->exchange_dop) ctx_.stream->exchange_dop = dop_;
+    }
+    state_ = std::make_shared<GammaState>();
+    for (unsigned p = 0; p < dop_; ++p) {
+      GammaWorker* w = workers_[p].get();
+      if (w->part.empty()) continue;
+      w->ev = std::make_unique<Evaluator>(ctx_.ev->store());
+      w->ev->set_path_mode(ctx_.ev->path_mode());
+      w->ev->set_control(ctx_.ev->control());
+      ++state_->dispatched;
+      std::shared_ptr<GammaState> state = state_;
+      const AlgebraOp* gp = &g;
+      Scheduler::Global().Submit([state, w, gp] { RunGammaTask(state, w, gp); });
+    }
+    if (ctx_.stream != nullptr) {
+      ctx_.stream->gamma_partitions += state_->dispatched;
+    }
+    WaitForTasks();
+    // Deterministic error propagation: the lowest partition index wins,
+    // independent of wall-clock completion order.
+    for (const auto& w : workers_) {
+      if (w->error != nullptr) std::rethrow_exception(w->error);
+    }
+    merged_.clear();
+    for (auto& w : workers_) {
+      for (GammaWorker::Result& r : w->results) merged_.push_back(std::move(r));
+      w->results.clear();
+    }
+    std::sort(merged_.begin(), merged_.end(),
+              [](const GammaWorker::Result& a, const GammaWorker::Result& b) {
+                return a.first_seq != b.first_seq
+                           ? a.first_seq < b.first_seq
+                           : a.first_ordinal < b.first_ordinal;
+              });
+    pos_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= merged_.size()) return false;
+    // Workers already counted each group (CountProducedTuple); re-emitting
+    // must not recount.
+    *out = std::move(merged_[pos_++].tuple);
+    return true;
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    WaitForTasks();
+    if (routed_charged_ && ctx_.stream != nullptr) {
+      ctx_.stream->OnRelease(routed_);
+      routed_charged_ = false;
+    }
+    for (const auto& w : workers_) {
+      if (w->ev != nullptr) ctx_.ev->stats() += w->ev->stats();
+    }
+  }
+
+ private:
+  void WaitForTasks() {
+    if (state_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock,
+                    [&] { return state_->finished == state_->dispatched; });
+  }
+
+  const PartitionPoint point_;
+  ExecContext& ctx_;
+  const ParallelOptions options_;
+  unsigned dop_ = 1;
+  uint64_t routed_ = 0;
+  bool routed_charged_ = false;
+  bool closed_ = false;
+  std::vector<std::unique_ptr<GammaWorker>> workers_;
+  std::shared_ptr<GammaState> state_;
+  std::vector<GammaWorker::Result> merged_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
+unsigned ResolveParallelThreads(unsigned threads, uint64_t budget_bytes) {
+  return budget_bytes != 0 ? ResolveBudgetedThreads(threads, budget_bytes)
+                           : ResolveThreads(threads);
+}
+
 std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root) {
+  return FindPartitionPoint(root, PartitionScan{});
+}
+
+std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root,
+                                                 const PartitionScan& scan) {
   std::vector<const AlgebraOp*> spine;
   for (const AlgebraOp* op = &root; op != nullptr;
        op = op->children.empty() ? nullptr : op->child(0).get()) {
     spine.push_back(op);
   }
+  auto segmentable = [&scan](const AlgebraOp& op) {
+    return IsPartitionableOp(op) ||
+           (scan.shared_probe && IsProbePartitionableOp(op));
+  };
   // Deepest partitionable operator, extended upward to a maximal run —
   // deepest because that is where the tuple stream is widest (right above
   // the unnest that expands the document scan).
   int bottom = -1;
   for (int i = static_cast<int>(spine.size()) - 1; i >= 0; --i) {
-    if (IsPartitionableOp(*spine[i])) {
+    if (segmentable(*spine[i])) {
       bottom = i;
       break;
     }
   }
-  if (bottom < 0) return std::nullopt;
-  int top = bottom;
-  while (top > 0 && IsPartitionableOp(*spine[top - 1])) --top;
-  // Every partitionable op is unary, so the spine continues below `bottom`.
-  int src = bottom + 1;
-  // Demote non-expanding tail operators (□, the doc() binding χ, σ...) into
-  // the source until it is Υ/μ-rooted: chunking only pays on a producer
-  // that actually fans out into many tuples.
-  while (!IsExpanding(*spine[src])) {
-    if (bottom < top) return std::nullopt;
-    src = bottom;
-    --bottom;
+  std::optional<PartitionPoint> point;
+  int top = 0;
+  if (bottom >= 0) {
+    top = bottom;
+    while (top > 0 && segmentable(*spine[top - 1])) --top;
+    // Every segment op keeps the spine on child(0) (probe side for the
+    // breakers), so the spine continues below `bottom`.
+    int src = bottom + 1;
+    // Demote non-expanding tail operators (□, the doc() binding χ, σ...)
+    // into the source until it is Υ/μ-rooted: chunking only pays on a
+    // producer that actually fans out into many tuples.
+    bool viable = true;
+    while (!IsExpanding(*spine[src])) {
+      if (bottom < top) {
+        viable = false;
+        break;
+      }
+      src = bottom;
+      --bottom;
+    }
+    if (viable && bottom >= top) {
+      point.emplace();
+      point->top = spine[top];
+      point->segment.assign(spine.begin() + top, spine.begin() + bottom + 1);
+      point->source = spine[src];
+    }
   }
-  if (bottom < top) return std::nullopt;
-  PartitionPoint point;
-  point.top = spine[top];
-  point.segment.assign(spine.begin() + top, spine.begin() + bottom + 1);
-  point.source = spine[src];
+  if (scan.gamma) {
+    if (point.has_value()) {
+      // A partitionable Γ directly above the segment extends the same
+      // exchange: workers stream the segment AND pre-aggregate.
+      if (top > 0 && IsGammaPartitionableOp(*spine[top - 1])) {
+        point->gamma = spine[top - 1];
+      }
+    } else {
+      // No partitionable segment — a Γ alone still parallelizes: its input
+      // runs serially on the consumer, the aggregation is partitioned.
+      // Deepest first (widest input).
+      for (int i = static_cast<int>(spine.size()) - 1; i >= 0; --i) {
+        if (IsGammaPartitionableOp(*spine[i])) {
+          point.emplace();
+          point->gamma = spine[i];
+          point->source = spine[i + 1];
+          break;
+        }
+      }
+    }
+  }
   return point;
+}
+
+std::vector<PartitionPoint> EnumeratePartitionPoints(const AlgebraOp& root) {
+  std::vector<PartitionPoint> out;
+  auto add = [&out](std::optional<PartitionPoint> p) {
+    if (!p.has_value()) return;
+    for (const PartitionPoint& q : out) {
+      if (q.top == p->top && q.source == p->source && q.gamma == p->gamma &&
+          q.segment == p->segment) {
+        return;
+      }
+    }
+    out.push_back(std::move(*p));
+  };
+  add(FindPartitionPoint(root, PartitionScan{false, false}));
+  add(FindPartitionPoint(root, PartitionScan{true, false}));
+  add(FindPartitionPoint(root, PartitionScan{false, true}));
+  add(FindPartitionPoint(root, PartitionScan{true, true}));
+  return out;
 }
 
 namespace {
@@ -465,7 +805,6 @@ template <typename Emit>
 uint64_t RunParallel(Evaluator& ev, const AlgebraOp& op,
                      const ParallelOptions& options, StreamStats* stream,
                      Emit&& emit) {
-  std::optional<PartitionPoint> point = FindPartitionPoint(op);
   xml::StoreReadLease lease(ev.store());
   ev.ClearCse();
   // Budget resolution mirrors DrainStreaming: an explicit option wins, the
@@ -483,16 +822,35 @@ uint64_t RunParallel(Evaluator& ev, const AlgebraOp& op,
     eff.threads = ResolveBudgetedThreads(eff.threads, eff.memory_budget_bytes);
     consumer_spool.emplace(eff.memory_budget_bytes);
     consumer_spool->set_control(ev.control());
+    if (eff.breaker_row_hints != nullptr) {
+      consumer_spool->set_row_hints(eff.breaker_row_hints);
+    }
+  }
+  // Placement: a resolved caller choice (the cost-driven chooser,
+  // opt/parallel.h) is honored as-is; an unresolved run scans for itself —
+  // breaker-extended only when the whole run is unlimited, because the
+  // extended breakers (shared builds, routed Γ partitions) buffer in RAM.
+  // Under a finite budget the legacy per-tuple segment keeps every breaker
+  // on the consumer, where the spool layer bounds it.
+  std::optional<PartitionPoint> point;
+  if (eff.point_resolved) {
+    point = eff.point;
+  } else {
+    const bool unlimited = eff.memory_budget_bytes == 0;
+    point = FindPartitionPoint(op, PartitionScan{unlimited, unlimited});
   }
   Tuple env;
   ExecContext ctx{&ev, &env, stream,
                   consumer_spool.has_value() && consumer_spool->enabled()
                       ? &*consumer_spool
                       : nullptr};
-  if (point.has_value()) {
-    ctx.exchange_op = point->top;
+  if (point.has_value() && point->injection() != nullptr) {
+    ctx.exchange_op = point->injection();
     const PartitionPoint* pp = &*point;
     ctx.make_exchange = [pp, &eff](ExecContext& c) -> CursorPtr {
+      if (pp->gamma != nullptr) {
+        return std::make_unique<GammaExchangeCursor>(*pp, c, eff);
+      }
       return std::make_unique<MergeCursor>(*pp, c, eff);
     };
   }

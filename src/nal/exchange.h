@@ -29,6 +29,7 @@
 #ifndef NALQ_NAL_EXCHANGE_H_
 #define NALQ_NAL_EXCHANGE_H_
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,26 @@ enum class PartitionStrategy : uint8_t {
   /// ranges, one chunk per worker — fewer, larger tasks; the classical
   /// range-partitioned exchange.
   kRange,
+};
+
+/// A chosen cut of the plan: `segment` (top-down, segment.front() == top)
+/// is the run of partitionable operators every worker clones; `source` is
+/// the producer subtree below it, evaluated serially. The segment may
+/// contain probe-partitionable breakers (IsProbePartitionableOp): their
+/// build sides are materialized once on the consumer and probed read-only
+/// by every worker. `gamma`, when set, is a partitionable unary Γ sitting
+/// directly above `top` (or directly above `source` when the segment is
+/// empty) whose groups are hash-partitioned across workers and merged in
+/// first-occurrence order.
+struct PartitionPoint {
+  const AlgebraOp* top = nullptr;
+  std::vector<const AlgebraOp*> segment;
+  const AlgebraOp* source = nullptr;
+  const AlgebraOp* gamma = nullptr;
+
+  /// The node MakeCursor's exchange injection replaces: the Γ when the
+  /// point carries one, else the segment top.
+  const AlgebraOp* injection() const { return gamma != nullptr ? gamma : top; }
 };
 
 struct ParallelOptions {
@@ -65,6 +86,17 @@ struct ParallelOptions {
   /// count cannot over-commit the budget through per-worker in-flight
   /// state.
   uint64_t memory_budget_bytes = 0;
+  /// Caller-chosen partition point (the cost-driven chooser in
+  /// opt/parallel.h). Honored only when `point_resolved` is true; a
+  /// resolved-but-empty point forces serial streaming. When unresolved the
+  /// run picks its own point: the breaker-extended scan under an unlimited
+  /// budget, the per-tuple legacy scan otherwise.
+  std::optional<PartitionPoint> point;
+  bool point_resolved = false;
+  /// Estimated build-side rows per breaker node (opt/parallel.h), consumed
+  /// by the spool layer's grace-partition admission policy. Borrowed; must
+  /// outlive the run. Null = no hints (static partition-count rule).
+  const std::map<const AlgebraOp*, double>* breaker_row_hints = nullptr;
 };
 
 /// Per-worker footprint the budget accountant cannot see — the dispatch-
@@ -73,14 +105,23 @@ struct ParallelOptions {
 /// uncharged memory proportional to the budget.
 inline constexpr uint64_t kMinWorkerBudgetBytes = 256 * 1024;
 
-/// A chosen cut of the plan: `segment` (top-down, segment.front() == top)
-/// is the run of partitionable operators every worker clones; `source` is
-/// the producer subtree below it, evaluated serially.
-struct PartitionPoint {
-  const AlgebraOp* top = nullptr;
-  std::vector<const AlgebraOp*> segment;
-  const AlgebraOp* source = nullptr;
+/// What FindPartitionPoint may put in a segment beyond the per-tuple
+/// operators. Both extensions keep breaker state in RAM (the shared build /
+/// the routed partitions), so callers enable them only on unlimited-budget
+/// runs; under a finite budget the legacy per-tuple segment keeps every
+/// breaker on the consumer where the spool layer bounds it.
+struct PartitionScan {
+  bool shared_probe = false;  ///< allow IsProbePartitionableOp breakers
+  bool gamma = false;         ///< allow a Γ pre-aggregation extension
 };
+
+/// The effective degree of parallelism for a `threads` request: the request
+/// itself when non-zero, else the NALQ_THREADS environment knob (malformed
+/// values throw kPlanError — env_knobs.h), else one worker per hardware
+/// core. `budget_bytes` != 0 additionally applies the kMinWorkerBudgetBytes
+/// clamp. Exposed so the cost-driven placement chooser (opt/parallel.h)
+/// prices exactly the worker count the exchange would run.
+unsigned ResolveParallelThreads(unsigned threads, uint64_t budget_bytes);
 
 /// Finds the deepest maximal run of partitionable operators on the plan's
 /// child(0) spine whose producer is an expanding operator (Υ/μ), demoting
@@ -88,6 +129,20 @@ struct PartitionPoint {
 /// real cardinality. nullopt if the plan has no such cut — the caller falls
 /// back to serial streaming.
 std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root);
+
+/// Scan-controlled form: `scan.shared_probe` admits probe-partitionable
+/// breakers into the segment, `scan.gamma` additionally attaches a
+/// partitionable Γ directly above it (or alone when no segment exists).
+/// FindPartitionPoint(root) == FindPartitionPoint(root, {}) — the legacy
+/// per-tuple rule.
+std::optional<PartitionPoint> FindPartitionPoint(const AlgebraOp& root,
+                                                 const PartitionScan& scan);
+
+/// Every distinct candidate placement the cost-driven chooser
+/// (opt/parallel.h) prices: the legacy per-tuple point, the probe-extended
+/// point, and their Γ-extended variants, deduplicated. Order is
+/// deterministic; may be empty.
+std::vector<PartitionPoint> EnumeratePartitionPoints(const AlgebraOp& root);
 
 /// Pull-runs `op` with the partitionable segment executed in parallel,
 /// discarding root tuples — the parallel counterpart of DrainStreaming.

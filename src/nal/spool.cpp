@@ -78,9 +78,27 @@ constexpr uint64_t kTupleOverhead = 48;
 /// so opening a spill file must never fail for lack of budget.
 constexpr uint64_t kWriteBufferBytes = 8 * 1024;
 
-// ---------------------------------------------------------------------------
-// Codec
-// ---------------------------------------------------------------------------
+}  // namespace
+
+size_t GracePartitionCount(uint64_t budget_limit_bytes,
+                           double est_build_bytes) {
+  if (!(est_build_bytes > 0.0) ||
+      est_build_bytes >= 9.0e18 /* past uint64 range: estimate is garbage */) {
+    return Level0Partitions(budget_limit_bytes);
+  }
+  // Size the fan-out so each partition is expected to land under its load
+  // limit in one pass. The ceiling grows with the budget (each open
+  // partition holds a kWriteBufferBytes write handle resident) but is capped
+  // harder than the merge fan-in since partitions are all open at once.
+  const double limit = static_cast<double>(PartitionLoadLimit(
+      budget_limit_bytes));
+  uint64_t want = static_cast<uint64_t>(est_build_bytes / limit) + 1;
+  uint64_t cap = std::clamp<uint64_t>(budget_limit_bytes / (16 * 1024), 4,
+                                      256);
+  return static_cast<size_t>(std::clamp<uint64_t>(want, 4, cap));
+}
+
+namespace {
 
 void PutU32(std::string* out, uint32_t v) {
   char b[4];
@@ -1263,9 +1281,17 @@ class SpillGroupUnaryCursor final : public Cursor {
 
   void SwitchToPartitions() {
     spilled_ = true;
+    // Admission policy: expected input volume = optimizer row hint × the
+    // average resident tuple size observed up to the overflow. No hint (or
+    // nothing buffered yet) falls back to the static budget rule.
+    double avg = input_seq_.size() > 0
+                     ? static_cast<double>(charge_.charged()) /
+                           static_cast<double>(input_seq_.size())
+                     : 0.0;
     partitions_ = MakePartitionSet(
         ctx_.spool, StatsOf(ctx_),
-        Level0Partitions(ctx_.spool->budget().limit_bytes()));
+        GracePartitionCount(ctx_.spool->budget().limit_bytes(),
+                            ctx_.spool->RowHint(&op_) * avg));
     std::vector<Key> keys;
     uint64_t seq = 0;
     for (Tuple& t : input_seq_) {
@@ -1592,9 +1618,17 @@ class SpillJoinCursor final : public Cursor {
   void SwitchToSpill() {
     if (equi_.has_value()) {
       mode_ = Mode::kSpilledEqui;
+      // Admission policy: expected build volume = optimizer row hint for
+      // this breaker × the average resident tuple size observed up to the
+      // overflow (see GracePartitionCount).
+      double avg = right_seq_.size() > 0
+                       ? static_cast<double>(charge_.charged()) /
+                             static_cast<double>(right_seq_.size())
+                       : 0.0;
       build_parts_ = MakePartitionSet(
           ctx_.spool, StatsOf(ctx_),
-          Level0Partitions(ctx_.spool->budget().limit_bytes()));
+          GracePartitionCount(ctx_.spool->budget().limit_bytes(),
+                              ctx_.spool->RowHint(&op_) * avg));
       for (Tuple& u : right_seq_) RouteBuild(std::move(u));
     } else {
       mode_ = Mode::kSpilledLoop;

@@ -46,6 +46,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -147,6 +148,25 @@ class SpoolContext {
     if (control_ != nullptr) control_->Poll();
   }
 
+  /// Estimated build-side rows per breaker node (opt/parallel.h fills this
+  /// from the cardinality model). The grace cursors consult it when the
+  /// budget overflows to size their level-0 partition count from the
+  /// *expected* build volume instead of the static budget/32KB rule — see
+  /// GracePartitionCount. Borrowed; must outlive the context's use. Null =
+  /// no hints.
+  void set_row_hints(const std::map<const AlgebraOp*, double>* hints) {
+    row_hints_ = hints;
+  }
+  const std::map<const AlgebraOp*, double>* row_hints() const {
+    return row_hints_;
+  }
+  /// Estimated input rows for `op`, or 0 when unknown.
+  double RowHint(const AlgebraOp* op) const {
+    if (row_hints_ == nullptr) return 0.0;
+    auto it = row_hints_->find(op);
+    return it == row_hints_->end() ? 0.0 : it->second;
+  }
+
   /// Fault injector for this run's spool sites (nal/fault_injection.h).
   /// Captured as FaultInjector::Current() at construction — so a
   /// ScopedFaultInjector alive on the constructing thread scopes faults to
@@ -166,6 +186,7 @@ class SpoolContext {
  private:
   std::unique_ptr<MemoryBudget> own_budget_;  ///< null in the worker form
   MemoryBudget* budget_;
+  const std::map<const AlgebraOp*, double>* row_hints_ = nullptr;
   QueryControl* control_ = nullptr;
   FaultInjector* injector_;  ///< set by both constructors, never null
   std::string dir_;
@@ -249,6 +270,17 @@ class ExternalSorter {
 
 /// True when `ctx` opts cursors into memory-bounded execution.
 bool SpillEnabled(const ExecContext& ctx);
+
+/// Grace admission policy: the level-0 partition count a spilling breaker
+/// opens. With no estimate (`est_build_bytes` <= 0, or larger than what a
+/// double can usefully say) the static rule applies — budget/32KB clamped to
+/// [4, 64]. With an estimate (optimizer row hint × observed average tuple
+/// bytes at switch time) the count is sized so each partition is expected to
+/// fit its load limit in one pass: ceil(est / (budget/2)) clamped to
+/// [4, min(budget/16KB, 256)] — fewer open files for small overflows, no
+/// recursive re-partitioning cascade for builds far beyond the budget.
+size_t GracePartitionCount(uint64_t budget_limit_bytes,
+                           double est_build_bytes);
 
 /// External-merge-sort Sort breaker.
 CursorPtr MakeSpillSortCursor(const AlgebraOp& op, ExecContext& ctx,

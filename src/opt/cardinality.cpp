@@ -169,10 +169,10 @@ ExprEstimate CardinalityEstimator::EstimateExpr(const Expr& e,
         AttrProfile next;
         per_context *= StepFanout(cur, step, &next);
         cur = next;
-        out.cost += CostModel::kPathStep;
+        out.cost += model_.path_step();
       }
       out.fanout = ctx.fanout * per_context;
-      out.cost += out.fanout * CostModel::kPathResult;
+      out.cost += out.fanout * model_.path_result();
       out.profile = cur;
       return out;
     }
@@ -239,14 +239,14 @@ ExprEstimate CardinalityEstimator::EstimateExpr(const Expr& e,
           e.children.empty() ? 0 : EstimateExpr(*e.children[0], scope).cost;
       // Short-circuit: on average half the range is visited.
       out.cost = range.cpu + range.io +
-                 0.5 * range.rows * (CostModel::kPredicate + pred_cost);
+                 0.5 * range.rows * (model_.predicate() + pred_cost);
       return out;
     }
     case ExprKind::kAgg: {
       ExprEstimate in = EstimateExpr(*e.children[0], scope);
       double n = std::max(in.fanout, in.profile.seq_rows);
       out.cost = in.cost + n * 0.1;
-      if (e.agg.has_filter()) out.cost += n * CostModel::kPredicate;
+      if (e.agg.has_filter()) out.cost += n * model_.predicate();
       switch (e.agg.kind) {
         case nal::AggSpec::Kind::kId:
           out.profile.seq_rows = n;
@@ -332,6 +332,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       reread.cpu = reread.rows * 0.2;
       reread.io = 0;
       reread.peak_breaker_bytes = 0;
+      if (recorder_ != nullptr) (*recorder_)[&op] = reread;
       return reread;
     }
   }
@@ -362,7 +363,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       const OpEstimate& in = kids[0];
       Scope merged = Merged(in.scope, outer);
       ExprEstimate pe = EstimateExpr(*op.pred, merged);
-      out.cpu += in.rows * (CostModel::kPredicate + pe.cost);
+      out.cpu += in.rows * (model_.predicate() + pe.cost);
       out.rows = in.rows * Selectivity(*op.pred, merged);
       out.scope = in.scope;
       break;
@@ -401,7 +402,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
         case nal::ProjectMode::kDistinct: {
           Scope merged = Merged(in.scope, outer);
           out.rows = DistinctRows(op.attrs, merged, in.rows);
-          out.cpu += in.rows * CostModel::kDistinct;
+          out.cpu += in.rows * model_.distinct();
           Scope kept;
           for (Symbol a : op.attrs) {
             auto it = out.scope.find(a);
@@ -439,7 +440,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       Scope merged = Merged(in.scope, outer);
       ExprEstimate ee = EstimateExpr(*op.expr, merged);
       out.rows = in.rows * ee.fanout;
-      out.cpu += in.rows * ee.cost + out.rows * CostModel::kTuple;
+      out.cpu += in.rows * ee.cost + out.rows * model_.tuple();
       out.scope = in.scope;
       AttrProfile p = ee.profile;
       p.seq_rows = 0;  // items bound one per output tuple
@@ -453,8 +454,8 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       const AttrProfile* g = Find(merged, op.attr);
       double fan = g != nullptr && g->seq_rows > 0 ? g->seq_rows : 5;
       out.rows = in.rows * (op.outer ? std::max(fan, 1.0) : fan);
-      out.cpu += out.rows * CostModel::kTuple;
-      if (op.distinct) out.cpu += out.rows * CostModel::kDistinct;
+      out.cpu += out.rows * model_.tuple();
+      if (op.distinct) out.cpu += out.rows * model_.distinct();
       out.scope = in.scope;
       out.scope.erase(op.attr);
       auto it = bound_inner_.find(op.attr);
@@ -492,12 +493,12 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       if (equi.has_value()) {
         d_l = DistinctRows(equi->left_attrs, Merged(l.scope, outer), l.rows);
         d_r = DistinctRows(equi->right_attrs, Merged(r.scope, outer), r.rows);
-        out.cpu += r.rows * CostModel::kHashBuild +
-                   l.rows * CostModel::kHashProbe;
+        out.cpu += r.rows * model_.hash_build() +
+                   l.rows * model_.hash_probe();
       } else if (op.kind != OpKind::kCross) {
-        out.cpu += l.rows * r.rows * CostModel::kPredicate;
+        out.cpu += l.rows * r.rows * model_.predicate();
       } else {
-        out.cpu += r.rows * CostModel::kTuple;
+        out.cpu += r.rows * model_.tuple();
       }
       double residual_sel =
           equi.has_value() && equi->residual != nullptr
@@ -538,7 +539,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
         default:
           break;
       }
-      out.cpu += out.rows * CostModel::kTuple;
+      out.cpu += out.rows * model_.tuple();
 
       // Output scope per operator shape.
       if (op.kind == OpKind::kSemiJoin || op.kind == OpKind::kAntiJoin) {
@@ -564,9 +565,9 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       Scope merged = Merged(in.scope, outer);
       double groups = DistinctRows(op.left_attrs, merged, in.rows);
       out.rows = groups;
-      out.cpu += in.rows * CostModel::kGroupBuild + groups * CostModel::kTuple;
+      out.cpu += in.rows * model_.group_build() + groups * model_.tuple();
       if (op.theta != nal::CmpOp::kEq) {
-        out.cpu += groups * in.rows * CostModel::kPredicate;
+        out.cpu += groups * in.rows * model_.predicate();
       }
       for (Symbol a : op.left_attrs) {
         auto it = in.scope.find(a);
@@ -601,14 +602,14 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
       out.rows = in.rows;
       out.scope = in.scope;
       Scope merged = Merged(in.scope, outer);
-      double per_row = CostModel::kRender;
+      double per_row = model_.render();
       for (const nal::XiProgram* program : {&op.s1, &op.s2, &op.s3}) {
         for (const nal::XiCommand& c : *program) {
           per_row += c.is_literal ? 0.05 : EstimateExpr(*c.expr, merged).cost;
         }
       }
       if (op.kind == OpKind::kXiGroup) {
-        per_row += CostModel::kPredicate;  // group-change detection
+        per_row += model_.predicate();  // group-change detection
       }
       out.cpu += in.rows * per_row;
       break;
@@ -616,6 +617,7 @@ OpEstimate CardinalityEstimator::EstimateOp(const AlgebraOp& op,
   }
 
   if (op.cse_id >= 0) cse_cache_[op.cse_id] = out;
+  if (recorder_ != nullptr) (*recorder_)[&op] = out;
   return out;
 }
 

@@ -80,6 +80,17 @@ class CardinalityEstimator {
   /// Subtree estimate under outer bindings `outer` (exposed for tests).
   OpEstimate EstimateOp(const nal::AlgebraOp& op, const Scope& outer);
 
+  /// Optional per-node recording: every EstimateOp return is mirrored into
+  /// `*rec` keyed by plan node, so callers that need intermediate
+  /// cardinalities — the parallel placement chooser's breaker pricing and
+  /// the spool layer's grace-admission row hints (opt/parallel.h) — get
+  /// them from the same walk that prices the plan. A node estimated more
+  /// than once (subscript re-entry) keeps the last estimate. Borrowed; must
+  /// outlive the estimation calls.
+  void set_node_recorder(std::map<const nal::AlgebraOp*, OpEstimate>* rec) {
+    recorder_ = rec;
+  }
+
   // ---- defaults (documented knobs, exposed for tests) --------------------
   static constexpr double kDefaultRows = 10;        ///< unknown leaf fan-out
   static constexpr double kDefaultEqSelectivity = 0.1;
@@ -117,6 +128,7 @@ class CardinalityEstimator {
   /// χ-bound nested attributes: attribute → (inner attribute, its profile),
   /// restored into scope when μ unnests the attribute.
   std::map<nal::Symbol, std::pair<nal::Symbol, AttrProfile>> bound_inner_;
+  std::map<const nal::AlgebraOp*, OpEstimate>* recorder_ = nullptr;
 };
 
 }  // namespace nalq::opt

@@ -28,6 +28,21 @@ Choice ChoosePlan(const xml::Store& store,
   // anchored to the global minimum (not compared pairwise), so near-ties
   // cannot chain into a pick arbitrarily far from the cheapest plan.
   constexpr double kTieMargin = 0.02;
+  // No documents means no statistics: every estimate is built from the
+  // estimator's fixed defaults, and with calibrated constants those
+  // defaults produce cost differences that reflect the 10-row placeholder
+  // cardinalities, not the data. Degrade to the rule-priority policy
+  // outright — cost-based choice needs representative statistics.
+  if (store.size() == 0) {
+    out.index = 0;
+    for (size_t i = 1; i < alternatives.size(); ++i) {
+      if (rewrite::RulePriority(alternatives[i].rule) <
+          rewrite::RulePriority(alternatives[out.index].rule)) {
+        out.index = i;
+      }
+    }
+    return out;
+  }
   size_t cheapest = 0;
   for (size_t i = 1; i < alternatives.size(); ++i) {
     if (out.estimates[i].total_cost() <

@@ -2,17 +2,22 @@
 
 #include <cmath>
 
+#include "opt/cost_constants.h"
+
 namespace nalq::opt {
 
+CostModel::CostModel(uint64_t memory_budget_bytes)
+    : budget_(memory_budget_bytes), k_(kCalibratedCosts) {}
+
 double CostModel::SortCost(double n) const {
-  if (n <= 1) return kTuple;
-  return kSortCoef * n * std::log2(n + 1);
+  if (n <= 1) return k_.tuple;
+  return k_.sort_coef * n * std::log2(n + 1);
 }
 
 double CostModel::SpillIo(double resident_bytes) const {
   if (budget_ == 0) return 0;
   if (resident_bytes <= static_cast<double>(budget_)) return 0;
-  return kIoPerByte * 2.0 * resident_bytes;  // write once, read once
+  return k_.io_per_byte * 2.0 * resident_bytes;  // write once, read once
 }
 
 }  // namespace nalq::opt

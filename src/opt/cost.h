@@ -1,4 +1,5 @@
-// Cost model for the plan chooser (opt/chooser.h).
+// Cost model for the plan chooser (opt/chooser.h) and the parallel
+// placement chooser (opt/parallel.h).
 //
 // Costs are abstract units, roughly "one tuple moved through one operator".
 // The model charges per-operator CPU from the cardinality estimates
@@ -11,6 +12,12 @@
 // and ties fall back to the paper's rule-priority ranking (the "most
 // restrictive equivalence" policy of Sec. 4), which keeps the chooser
 // well-behaved on empty stores where every estimate is a default.
+//
+// The per-event constants live in a CostConstants value the model carries.
+// The defaults below are the hand-seeded ratios the model shipped with;
+// the default-constructed CostModel instead loads the measurement-calibrated
+// set from the generated header opt/cost_constants.h (regenerate with
+// tools/calibrate_costs — see src/opt/README.md for the workflow).
 #ifndef NALQ_OPT_COST_H_
 #define NALQ_OPT_COST_H_
 
@@ -31,28 +38,54 @@ struct PlanEstimate {
   double total_cost() const { return cpu_cost + io_cost; }
 };
 
-/// Per-operator cost constants plus the budget-aware spill charge. One
-/// instance per estimation run; copying is fine.
+/// Per-event cost constants, in units of "one tuple through one streaming
+/// operator" (tuple is the numeraire; calibration normalizes it to 1). The
+/// member initializers are the hand-seeded ratios — the uncalibrated
+/// fallback and the values calibration starts from for event classes the
+/// micro-benches cannot isolate (see tools/calibrate_costs.cpp).
+struct CostConstants {
+  double tuple = 1.0;        ///< tuple through an operator
+  double predicate = 0.5;    ///< predicate evaluation
+  double path_step = 0.3;    ///< path step per context node
+  double path_result = 0.2;  ///< node emitted by a path
+  double hash_build = 2.0;   ///< build-side tuple hashed
+  double hash_probe = 1.0;   ///< probe-side lookup
+  double group_build = 2.0;  ///< Γ input tuple bucketed
+  double distinct = 1.5;     ///< ΠD key hashed + deduped
+  double render = 2.0;       ///< Ξ output tuple rendered
+  double sort_coef = 0.4;    ///< × n log2 n
+  double io_per_byte = 0.01; ///< spill write+read, per byte
+
+  // Exchange-parallelism terms (opt/parallel.h): what a parallel placement
+  // pays that a serial run does not.
+  double exchange_tuple = 0.2;   ///< source tuple chunked through an exchange
+  double worker_setup = 2000.0;  ///< per worker pipeline (clone + dispatch)
+};
+
+/// Cost constants plus the budget-aware spill charge. One instance per
+/// estimation run; copying is fine.
 class CostModel {
  public:
   /// `memory_budget_bytes` mirrors Engine::Run's knob: 0 = unlimited (no
-  /// spill I/O is ever charged).
-  explicit CostModel(uint64_t memory_budget_bytes = 0)
-      : budget_(memory_budget_bytes) {}
+  /// spill I/O is ever charged). The default-constructed model carries the
+  /// calibrated constants (opt/cost_constants.h).
+  explicit CostModel(uint64_t memory_budget_bytes = 0);
+  CostModel(uint64_t memory_budget_bytes, const CostConstants& constants)
+      : budget_(memory_budget_bytes), k_(constants) {}
 
   uint64_t budget_bytes() const { return budget_; }
+  const CostConstants& constants() const { return k_; }
 
-  // ---- CPU constants (units per event) ----------------------------------
-  static constexpr double kTuple = 1.0;        ///< tuple through an operator
-  static constexpr double kPredicate = 0.5;    ///< predicate evaluation
-  static constexpr double kPathStep = 0.3;     ///< path step per context
-  static constexpr double kPathResult = 0.2;   ///< node emitted by a path
-  static constexpr double kHashBuild = 2.0;    ///< build-side tuple hashed
-  static constexpr double kHashProbe = 1.0;    ///< probe-side lookup
-  static constexpr double kGroupBuild = 2.0;   ///< Γ input tuple bucketed
-  static constexpr double kDistinct = 1.5;     ///< ΠD key hashed + deduped
-  static constexpr double kRender = 2.0;       ///< Ξ output tuple rendered
-  static constexpr double kSortCoef = 0.4;     ///< × n log2 n
+  // ---- per-event charges (units per event) ------------------------------
+  double tuple() const { return k_.tuple; }
+  double predicate() const { return k_.predicate; }
+  double path_step() const { return k_.path_step; }
+  double path_result() const { return k_.path_result; }
+  double hash_build() const { return k_.hash_build; }
+  double hash_probe() const { return k_.hash_probe; }
+  double group_build() const { return k_.group_build; }
+  double distinct() const { return k_.distinct; }
+  double render() const { return k_.render; }
 
   /// Sort cost for `n` estimated input rows.
   double SortCost(double n) const;
@@ -65,11 +98,9 @@ class CostModel {
   /// and ignored).
   double SpillIo(double resident_bytes) const;
 
-  /// Bytes-per-unit weight of SpillIo, exposed for tests.
-  static constexpr double kIoPerByte = 0.01;
-
  private:
   uint64_t budget_;
+  CostConstants k_;
 };
 
 }  // namespace nalq::opt

@@ -1,0 +1,66 @@
+// Cost-driven parallel placement: where to cut a plan for the exchange,
+// and at what degree of parallelism.
+//
+// The exchange layer (nal/exchange.h) can cut a plan at several points —
+// the legacy per-tuple segment, the probe-extended segment whose join
+// breakers share one consumer-built hash table, and their Γ-pre-aggregation
+// variants. Before this chooser the executor always took the deepest
+// eligible cut; here every candidate is priced with the cardinality
+// estimates (opt/cardinality.h) and the calibrated cost constants
+// (opt/cost_constants.h):
+//
+//   cost(point, dop) = serial_cpu + parallel_cpu / dop
+//                    + source_rows × exchange_tuple
+//                    + dop × worker_setup + spill_io
+//
+// where parallel_cpu is the work between the source and the injection node
+// that workers actually share (probe loops, per-tuple operators, Γ
+// bucketing), and serial_cpu is everything else — the source subtree, the
+// consumer-built build sides, the Γ merge, and the plan above the exchange.
+// The cheapest (point, dop) wins; if no parallel placement beats the serial
+// cost (small inputs cannot amortize worker_setup), the placement is
+// "resolved serial" and the run streams on one thread.
+//
+// The same estimation walk yields per-breaker build-side row estimates,
+// handed to the spool layer (SpoolContext::set_row_hints) so grace
+// partition counts are sized from expected build volume instead of the
+// static budget/32KB rule.
+#ifndef NALQ_OPT_PARALLEL_H_
+#define NALQ_OPT_PARALLEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "nal/exchange.h"
+#include "opt/cardinality.h"
+
+namespace nalq::opt {
+
+/// The chooser's output. `point` holds borrowed pointers into the plan the
+/// chooser saw — the plan must stay alive through the run. An empty `point`
+/// means "serial streaming beats every parallel placement"; pass it with
+/// ParallelOptions::point_resolved = true so the exchange does not rescan.
+struct ParallelPlacement {
+  std::optional<nal::PartitionPoint> point;
+  unsigned dop = 1;
+  double est_serial_cost = 0;    ///< whole-plan serial cost (comparison base)
+  double est_parallel_cost = 0;  ///< cost of the chosen placement at `dop`
+  /// Estimated build/input rows per breaker node, for
+  /// SpoolContext::set_row_hints (grace-partition admission).
+  std::map<const nal::AlgebraOp*, double> breaker_build_rows;
+};
+
+/// Prices every candidate partition point of `root` under
+/// `memory_budget_bytes` (0 = unlimited; finite budgets restrict candidates
+/// to the legacy per-tuple cut, matching the exchange's own gating) and a
+/// dop grid up to ResolveParallelThreads(max_threads, budget). Never
+/// throws on odd plans — no candidates simply yields a serial placement.
+ParallelPlacement ChooseParallelPlacement(const xml::Store& store,
+                                          const nal::AlgebraOp& root,
+                                          unsigned max_threads,
+                                          uint64_t memory_budget_bytes);
+
+}  // namespace nalq::opt
+
+#endif  // NALQ_OPT_PARALLEL_H_

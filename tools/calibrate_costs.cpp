@@ -1,0 +1,429 @@
+// calibrate_costs — measurement-calibrated cost constants for opt/cost.h.
+//
+// Runs one micro-bench per operator class against the streaming executor
+// (synthetic in-memory relations, no documents), solves each class's
+// per-event time from the analytic event counts of its plan shape, and
+// normalizes everything to the per-tuple streaming cost (tuple == 1.0, the
+// model's numeraire). Classes the micro-benches cannot isolate on a bare
+// store — the XPath constants and the spill I/O weight — keep their seeded
+// ratio (struct CostConstants's member initializers) and are marked as such.
+//
+// Usage:
+//   calibrate_costs                 measure, print fitted vs checked-in
+//   calibrate_costs --emit PATH     measure and (re)write the generated
+//                                   header (src/opt/cost_constants.h)
+//   calibrate_costs --check PATH    no measuring: parse PATH, re-emit from
+//                                   the parsed values and verify the bytes
+//                                   round-trip AND match the compiled-in
+//                                   kCalibratedCosts (a drifted header that
+//                                   was not rebuilt fails here). Exit 0/1.
+//
+// The emitted values are medians of repeated runs, but they are still
+// machine-dependent; BENCH_results.json records estimate-vs-actual rows so
+// model drift stays visible between recalibrations (see src/opt/README.md).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nal/algebra.h"
+#include "nal/cursor.h"
+#include "nal/eval.h"
+#include "nal/exchange.h"
+#include "opt/cost.h"
+#include "opt/cost_constants.h"
+#include "xml/store.h"
+
+namespace {
+
+using nalq::nal::AlgebraPtr;
+using nalq::nal::Sequence;
+using nalq::nal::Symbol;
+using nalq::nal::Tuple;
+using nalq::nal::Value;
+using nalq::opt::CostConstants;
+
+// ---------------------------------------------------------------------------
+// Synthetic relations (the tests' Table idiom: μ_g(χ_{g:const}(□)))
+// ---------------------------------------------------------------------------
+
+AlgebraPtr Table(Sequence rows) {
+  Symbol g = Symbol::Fresh("cal");
+  return nalq::nal::Unnest(
+      g,
+      nalq::nal::Map(g, nalq::nal::MakeConst(Value::FromTuples(std::move(rows))),
+                     nalq::nal::Singleton()),
+      /*distinct=*/false, /*outer=*/false);
+}
+
+/// n tuples {a: i mod keys, b: i} — `keys` controls join/group fan-in.
+Sequence Rel(size_t n, int64_t keys, const char* a = "a", const char* b = "b") {
+  Sequence out;
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.Set(Symbol(a), Value(static_cast<int64_t>(i) % keys));
+    t.Set(Symbol(b), Value(static_cast<int64_t>(i)));
+    out.Append(std::move(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+double TimeStreamingOnce(const nalq::xml::Store& store,
+                         const AlgebraPtr& plan) {
+  nalq::nal::Evaluator ev(store);
+  auto start = std::chrono::steady_clock::now();
+  nalq::nal::DrainStreaming(ev, *plan);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Times every plan `rounds` times in round-robin order and returns the
+/// per-plan medians. Interleaving matters: the fitted constants come from
+/// DIFFERENCES between these times, and machine-load drift between two
+/// back-to-back measurement blocks would otherwise land squarely in the
+/// subtraction. Round-robin spreads any drift across all plans equally.
+std::vector<double> TimeStreamingInterleaved(
+    const nalq::xml::Store& store, const std::vector<AlgebraPtr>& plans,
+    int rounds = 7) {
+  std::vector<std::vector<double>> samples(plans.size());
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      samples[i].push_back(TimeStreamingOnce(store, plans[i]));
+    }
+  }
+  std::vector<double> medians(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    std::sort(samples[i].begin(), samples[i].end());
+    medians[i] = samples[i][samples[i].size() / 2];
+  }
+  return medians;
+}
+
+double TimeStreaming(const nalq::xml::Store& store, const AlgebraPtr& plan,
+                     int repeats = 5) {
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    times.push_back(TimeStreamingOnce(store, plan));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double TimeParallel(const nalq::xml::Store& store, const AlgebraPtr& plan,
+                    unsigned threads, int repeats = 5) {
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    nalq::nal::Evaluator ev(store);
+    nalq::nal::ParallelOptions options;
+    options.threads = threads;
+    auto start = std::chrono::steady_clock::now();
+    nalq::nal::DrainParallel(ev, *plan, options);
+    auto end = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double ClampRatio(double r) {
+  if (!(r > 0.0)) return 0.01;  // NaN or non-positive: floor
+  return std::clamp(r, 0.01, 100.0);
+}
+
+double Round3(double v) { return std::round(v * 1000.0) / 1000.0; }
+
+// ---------------------------------------------------------------------------
+// Emit / parse the generated header
+// ---------------------------------------------------------------------------
+
+const char* const kFieldNames[] = {
+    "tuple",      "predicate",  "path_step", "path_result", "hash_build",
+    "hash_probe", "group_build", "distinct",  "render",      "sort_coef",
+    "io_per_byte", "exchange_tuple", "worker_setup",
+};
+constexpr size_t kFieldCount = sizeof(kFieldNames) / sizeof(kFieldNames[0]);
+
+std::vector<double> FieldValues(const CostConstants& k) {
+  return {k.tuple,      k.predicate,   k.path_step,  k.path_result,
+          k.hash_build, k.hash_probe,  k.group_build, k.distinct,
+          k.render,     k.sort_coef,   k.io_per_byte, k.exchange_tuple,
+          k.worker_setup};
+}
+
+std::string EmitHeader(const CostConstants& k) {
+  std::ostringstream out;
+  out << "// Measurement-calibrated cost constants — GENERATED FILE, do not "
+         "edit.\n"
+         "//\n"
+         "// Regenerate:  calibrate_costs --emit src/opt/cost_constants.h\n"
+         "// Verify:      calibrate_costs --check src/opt/cost_constants.h\n"
+         "//\n"
+         "// Units: one streaming per-tuple operator event == 1.000 (the "
+         "numeraire).\n"
+         "// Constants the micro-benches cannot isolate keep their seeded "
+         "ratio and\n"
+         "// are marked \"(seeded)\" by the calibration run.\n"
+         "#ifndef NALQ_OPT_COST_CONSTANTS_H_\n"
+         "#define NALQ_OPT_COST_CONSTANTS_H_\n"
+         "\n"
+         "#include \"opt/cost.h\"\n"
+         "\n"
+         "namespace nalq::opt {\n"
+         "\n"
+         "inline constexpr CostConstants kCalibratedCosts = {\n";
+  std::vector<double> values = FieldValues(k);
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "    /*%s=*/%.3f,\n", kFieldNames[i],
+                  values[i]);
+    out << buf;
+  }
+  out << "};\n"
+         "\n"
+         "}  // namespace nalq::opt\n"
+         "\n"
+         "#endif  // NALQ_OPT_COST_CONSTANTS_H_\n";
+  return out.str();
+}
+
+bool ParseHeader(const std::string& text, CostConstants* out) {
+  double v[kFieldCount];
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    std::string tag = "/*" + std::string(kFieldNames[i]) + "=*/";
+    size_t pos = text.find(tag);
+    if (pos == std::string::npos) return false;
+    v[i] = std::strtod(text.c_str() + pos + tag.size(), nullptr);
+  }
+  size_t i = 0;
+  out->tuple = v[i++];
+  out->predicate = v[i++];
+  out->path_step = v[i++];
+  out->path_result = v[i++];
+  out->hash_build = v[i++];
+  out->hash_probe = v[i++];
+  out->group_build = v[i++];
+  out->distinct = v[i++];
+  out->render = v[i++];
+  out->sort_coef = v[i++];
+  out->io_per_byte = v[i++];
+  out->exchange_tuple = v[i++];
+  out->worker_setup = v[i++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The micro-benches
+// ---------------------------------------------------------------------------
+
+CostConstants Calibrate() {
+  nalq::xml::Store store;  // empty: every plan below is store-independent
+  const size_t kN = 60000;
+  const double n = static_cast<double>(kN);
+
+  const int64_t kGroups = 600;
+
+  // All streaming micro-bench plans, timed interleaved (see
+  // TimeStreamingInterleaved). Analytic event counts per plan:
+  //
+  //   scan       n·tuple                      — the numeraire baseline
+  //   select     scan + n·predicate            (predicate always true)
+  //   join(p,m)  (p + m + p)·tuple + m·hash_build + p·hash_probe
+  //              (build keys unique in [0,m), probe keys ⊂ [0,m) → out = p)
+  //   Γ          n·tuple + n·group_build + g·tuple
+  //   ΠD         scan + n·distinct
+  //   Ξ literal  scan + n·render
+  //   sort       scan + coef·n·log2(n+1)
+  auto select_pred = [] {
+    return nalq::nal::MakeCmp(nalq::nal::CmpOp::kLt,
+                              nalq::nal::MakeAttrRef(Symbol("b")),
+                              nalq::nal::MakeConst(Value(int64_t{1} << 40)));
+  };
+  auto join_plan = [](size_t p, size_t m) {
+    return nalq::nal::Join(
+        nalq::nal::MakeCmp(nalq::nal::CmpOp::kEq,
+                           nalq::nal::MakeAttrRef(Symbol("a")),
+                           nalq::nal::MakeAttrRef(Symbol("c"))),
+        Table(Rel(p, static_cast<int64_t>(m))),
+        Table(Rel(m, static_cast<int64_t>(m), "c", "d")));
+  };
+  nalq::nal::AggSpec count_agg;
+  count_agg.kind = nalq::nal::AggSpec::Kind::kCount;
+  nalq::nal::XiProgram xi_program;
+  xi_program.push_back(nalq::nal::XiCommand::Literal("x"));
+
+  enum Plan {
+    kScan, kSelect, kJoinBase, kJoinProbe2, kJoinBuild2,
+    kGamma, kDistinct, kXi, kSort, kPlanCount
+  };
+  std::vector<AlgebraPtr> plans(kPlanCount);
+  plans[kScan] = Table(Rel(kN, 1000));
+  plans[kSelect] = nalq::nal::Select(select_pred(), Table(Rel(kN, 1000)));
+  plans[kJoinBase] = join_plan(kN, kN);
+  plans[kJoinProbe2] = join_plan(2 * kN, kN);
+  plans[kJoinBuild2] = join_plan(kN, 2 * kN);
+  plans[kGamma] =
+      nalq::nal::GroupUnary(Symbol("g"), nalq::nal::CmpOp::kEq, {Symbol("a")},
+                            count_agg, Table(Rel(kN, kGroups)));
+  plans[kDistinct] =
+      nalq::nal::ProjectDistinct({Symbol("a")}, Table(Rel(kN, 600)));
+  plans[kXi] = nalq::nal::XiSimple(std::move(xi_program), Table(Rel(kN, 1000)));
+  plans[kSort] =
+      nalq::nal::SortBy({Symbol("b")}, Table(Rel(kN, static_cast<int64_t>(kN))));
+
+  std::vector<double> t = TimeStreamingInterleaved(store, plans);
+
+  // Numeraire: one tuple through the streaming pipeline. The Table leaf
+  // charges exactly one per-tuple emission per row (μ over a constant).
+  double t_scan = t[kScan];
+  double t_tuple = t_scan / n;
+  if (!(t_tuple > 0)) t_tuple = 1e-9;
+
+  CostConstants k;  // seeded ratios for what we do not measure below
+  k.tuple = 1.0;
+  k.predicate = ClampRatio((t[kSelect] - t_scan) / n / t_tuple);
+  // Doubling the probe side at a fixed build isolates the probe slope;
+  // doubling the build side at a fixed probe isolates the build slope — no
+  // cross-subtraction of fitted values.
+  k.hash_probe =
+      ClampRatio(((t[kJoinProbe2] - t[kJoinBase]) / n - 2 * t_tuple) / t_tuple);
+  k.hash_build =
+      ClampRatio(((t[kJoinBuild2] - t[kJoinBase]) / n - t_tuple) / t_tuple);
+  k.group_build =
+      ClampRatio((t[kGamma] - (n + kGroups) * t_tuple) / n / t_tuple);
+  k.distinct = ClampRatio((t[kDistinct] - t_scan) / n / t_tuple);
+  k.render = ClampRatio((t[kXi] - t_scan) / n / t_tuple);
+  k.sort_coef = ClampRatio((t[kSort] - t_scan) / (n * std::log2(n + 1)) /
+                           t_tuple);
+
+  // Exchange overhead: σ over Table runs with a partitionable segment, so
+  // DrainParallel at dop=2 pays chunking per source tuple plus per-worker
+  // setup. Two sizes separate the slope (exchange_tuple) from the
+  // intercept (worker_setup). A single-core host cannot isolate the real
+  // overhead (the "parallel" run is pure contention), so the exchange
+  // constants stay seeded there.
+  if (std::thread::hardware_concurrency() >= 2) {
+    auto sel = [&](size_t rows) {
+      return nalq::nal::Select(
+          nalq::nal::MakeCmp(nalq::nal::CmpOp::kLt,
+                             nalq::nal::MakeAttrRef(Symbol("b")),
+                             nalq::nal::MakeConst(Value(int64_t{1} << 40))),
+          Table(Rel(rows, 1000)));
+    };
+    double s1 = TimeStreaming(store, sel(kN));
+    double s2 = TimeStreaming(store, sel(2 * kN));
+    double p1 = TimeParallel(store, sel(kN), 2);
+    double p2 = TimeParallel(store, sel(2 * kN), 2);
+    double slope_sec = std::max(((p2 - s2) - (p1 - s1)) / n, 0.0);
+    double setup_sec = std::max((p1 - s1 - n * slope_sec) / 2.0, 0.0);
+    k.exchange_tuple = ClampRatio(slope_sec / t_tuple);
+    k.worker_setup =
+        std::clamp(setup_sec / t_tuple, 1.0, 1000000.0);
+  }
+
+  // Round everything to the emitted precision so the printed table, the
+  // emitted header and a --check re-parse agree exactly.
+  k.tuple = Round3(k.tuple);
+  k.predicate = Round3(k.predicate);
+  k.hash_build = Round3(k.hash_build);
+  k.hash_probe = Round3(k.hash_probe);
+  k.group_build = Round3(k.group_build);
+  k.distinct = Round3(k.distinct);
+  k.render = Round3(k.render);
+  k.sort_coef = Round3(k.sort_coef);
+  k.exchange_tuple = Round3(k.exchange_tuple);
+  k.worker_setup = Round3(k.worker_setup);
+  // path_step / path_result / io_per_byte stay seeded (no isolated bench).
+  return k;
+}
+
+void PrintTable(const CostConstants& fitted) {
+  const CostConstants seeded;  // member initializers
+  std::vector<double> f = FieldValues(fitted);
+  std::vector<double> s = FieldValues(seeded);
+  std::vector<double> c = FieldValues(nalq::opt::kCalibratedCosts);
+  std::printf("%-16s %12s %12s %12s\n", "constant", "fitted", "checked-in",
+              "seeded");
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    bool is_seeded = f[i] == s[i];
+    std::printf("%-16s %12.3f %12.3f %12.3f%s\n", kFieldNames[i], f[i], c[i],
+                s[i], is_seeded ? "  (seeded)" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* emit_path = nullptr;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: calibrate_costs [--emit PATH | --check PATH]\n");
+      return 2;
+    }
+  }
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "calibrate_costs: cannot read %s\n", check_path);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    CostConstants parsed;
+    if (!ParseHeader(text, &parsed)) {
+      std::fprintf(stderr, "calibrate_costs: %s does not parse\n", check_path);
+      return 1;
+    }
+    if (EmitHeader(parsed) != text) {
+      std::fprintf(stderr,
+                   "calibrate_costs: %s is not in emitted form "
+                   "(hand-edited?); regenerate with --emit\n",
+                   check_path);
+      return 1;
+    }
+    std::vector<double> a = FieldValues(parsed);
+    std::vector<double> b = FieldValues(nalq::opt::kCalibratedCosts);
+    for (size_t i = 0; i < kFieldCount; ++i) {
+      if (std::fabs(a[i] - b[i]) > 1e-9) {
+        std::fprintf(stderr,
+                     "calibrate_costs: %s drifted from the compiled-in "
+                     "kCalibratedCosts (field %s: %.3f vs %.3f) — rebuild\n",
+                     check_path, kFieldNames[i], a[i], b[i]);
+        return 1;
+      }
+    }
+    std::printf("calibrate_costs: %s round-trips and matches the binary\n",
+                check_path);
+    return 0;
+  }
+
+  CostConstants fitted = Calibrate();
+  PrintTable(fitted);
+  if (emit_path != nullptr) {
+    std::ofstream out(emit_path, std::ios::trunc);
+    out << EmitHeader(fitted);
+    if (!out) {
+      std::fprintf(stderr, "calibrate_costs: cannot write %s\n", emit_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", emit_path);
+  }
+  return 0;
+}
