@@ -165,8 +165,23 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"svc_completed\":" << r.svc_completed
       << ",\"svc_rejected\":" << r.svc_rejected
       << ",\"svc_shed\":" << r.svc_shed
-      << ",\"svc_degraded\":" << r.svc_degraded
-      << "}";
+      << ",\"svc_degraded\":" << r.svc_degraded;
+  std::snprintf(est, sizeof(est), "%.6f", r.profiled_seconds);
+  out << ",\"profiled_seconds\":" << est;
+  if (!r.operators.empty()) {
+    out << ",\"operators\":[";
+    for (size_t i = 0; i < r.operators.size(); ++i) {
+      const BenchRecord::OpRow& op = r.operators[i];
+      char erow[64];
+      char arow[64];
+      std::snprintf(erow, sizeof(erow), "%.3f", op.est_rows);
+      std::snprintf(arow, sizeof(arow), "%.3f", op.actual_rows);
+      out << (i == 0 ? "" : ",") << "{\"op\":\"" << JsonEscape(op.op)
+          << "\",\"est_rows\":" << erow << ",\"actual_rows\":" << arow << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -300,6 +315,24 @@ double TimePlanRecorded(const engine::Engine& engine,
   return default_seconds;
 }
 
+namespace {
+
+/// Preorder flatten of a profile tree into the per-operator rows the
+/// mode="profile" record carries.
+void FlattenProfile(const obs::ProfileNode& node,
+                    std::vector<BenchRecord::OpRow>* out) {
+  BenchRecord::OpRow row;
+  row.op = node.headline.empty() ? node.op : node.headline;
+  row.est_rows = node.est_rows;
+  row.actual_rows = static_cast<double>(node.metrics.rows);
+  out->push_back(std::move(row));
+  for (const obs::ProfileNode& child : node.children) {
+    FlattenProfile(child, out);
+  }
+}
+
+}  // namespace
+
 void RecordPlanEstimates(const engine::CompiledQuery& q,
                          const std::string& bench, const std::string& size,
                          const engine::Engine* engine) {
@@ -337,6 +370,45 @@ void RecordPlanEstimates(const engine::CompiledQuery& q,
     r.chosen_by_cost = i == q.cost_choice ? 1 : 0;
     r.chosen_by_priority = i == priority_choice ? 1 : 0;
     if (i == q.cost_choice) r.actual_rows = actual_rows;
+    RecordBench(std::move(r));
+  }
+  // One mode="profile" record per (experiment, size): the cost-chosen plan
+  // with per-operator profiling on, next to a profiling-off baseline of the
+  // same plan — the per-operator estimate-vs-actual table AND the profiling
+  // overhead measurement, in one record.
+  if (engine != nullptr && q.cost_choice < q.alternatives.size()) {
+    const nal::AlgebraPtr& plan = q.alternatives[q.cost_choice].plan;
+    BenchRecord r;
+    r.bench = bench;
+    r.plan = q.alternatives[q.cost_choice].rule;
+    r.size = size;
+    r.mode = "profile";
+    r.path = "indexed";
+    r.seconds = TimePlanImpl(*engine, plan, /*repeats=*/3,
+                             engine::ExecMode::kStreaming,
+                             engine::PathMode::kIndexed, nullptr);
+    engine::RunInstrumentation instr;
+    instr.profile = true;
+    std::vector<double> times;
+    engine::RunResult profiled;
+    for (int i = 0; i < 3; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      profiled = engine->Run(plan, engine::ExecMode::kStreaming,
+                             engine::PathMode::kIndexed, /*threads=*/0,
+                             /*memory_budget_bytes=*/0, /*deadline_ms=*/0,
+                             /*control=*/nullptr, &instr);
+      auto end = std::chrono::steady_clock::now();
+      double s = std::chrono::duration<double>(end - start).count();
+      times.push_back(s);
+      if (s > 2.0) break;
+    }
+    std::sort(times.begin(), times.end());
+    r.profiled_seconds = times[times.size() / 2];
+    r.stats = profiled.stats;
+    r.est_cost = q.estimates[q.cost_choice].total_cost();
+    r.est_rows = q.estimates[q.cost_choice].rows;
+    r.actual_rows = static_cast<double>(profiled.root_tuples);
+    FlattenProfile(profiled.profile.root, &r.operators);
     RecordBench(std::move(r));
   }
 }

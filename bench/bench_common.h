@@ -75,6 +75,23 @@ struct BenchRecord {
   int64_t svc_rejected = -1;   ///< shed at submission (queue full)
   int64_t svc_shed = -1;       ///< all admission sheds (full + queue deadline)
   int64_t svc_degraded = -1;   ///< admissions with a shrunken budget grant
+
+  // Profile fields, set on mode == "profile" records (RecordPlanEstimates
+  // emits one per experiment × size when handed the engine): the cost-chosen
+  // plan run once with per-operator profiling on (src/obs/profile.h).
+  // `seconds` is the profiling-OFF median and `profiled_seconds` the
+  // profiling-ON median of the same plan, so the profiling overhead is a
+  // number in BENCH_results.json, not an assumption.
+  double profiled_seconds = -1;
+  /// One row per plan operator (preorder): the optimizer's estimated rows
+  /// next to the measured rows — the per-operator drift table
+  /// tools/compare_estimates.py renders.
+  struct OpRow {
+    std::string op;          ///< operator headline (nal/printer.h)
+    double est_rows = -1;    ///< optimizer estimate (-1 = unavailable)
+    double actual_rows = -1; ///< measured rows (obs::OpMetrics::rows)
+  };
+  std::vector<OpRow> operators;
 };
 
 /// Queues `record` for WriteBenchResults().

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -258,6 +259,26 @@ int main() {
   if (at_capacity.stats.completed == 0 || overload.stats.completed == 0) {
     std::fprintf(stderr, "a phase completed no queries\n");
     return 1;
+  }
+
+  // Metrics round-trip: both expositions must agree with the legacy
+  // snapshot after the full workload (CI greps this file; see
+  // .github/workflows/ci.yml bench-smoke).
+  {
+    const service::ServiceStats final_stats = svc.stats();
+    const std::string text = svc.MetricsText();
+    const std::string expect = "nalq_queries_completed_total " +
+                               std::to_string(final_stats.completed);
+    if (text.find(expect) == std::string::npos ||
+        text.find("nalq_query_seconds_bucket{le=\"+Inf\"}") ==
+            std::string::npos ||
+        svc.MetricsJson().find("\"nalq_query_seconds\":{\"count\":") ==
+            std::string::npos) {
+      std::fprintf(stderr, "metrics exposition disagrees with stats():\n%s\n",
+                   text.c_str());
+      return 1;
+    }
+    std::ofstream("nalq_metrics.prom") << text;
   }
   bench::WriteBenchResults();
   return 0;

@@ -1,8 +1,14 @@
 #include "engine/engine.h"
 
+#include <filesystem>
+#include <map>
+#include <optional>
+
 #include "nal/cursor.h"
+#include "nal/env_knobs.h"
 #include "nal/exchange.h"
 #include "nal/spool.h"
+#include "opt/cardinality.h"
 #include "opt/chooser.h"
 #include "opt/parallel.h"
 #include "xml/parser.h"
@@ -74,11 +80,51 @@ CompiledQuery Engine::Compile(std::string_view query_text, PlanChoice choice,
 RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
                       PathMode path_mode, unsigned threads,
                       uint64_t memory_budget_bytes, uint64_t deadline_ms,
-                      nal::QueryControl* control) const {
+                      nal::QueryControl* control,
+                      const RunInstrumentation* instr) const {
   nal::Evaluator evaluator(store_);
   evaluator.set_path_mode(path_mode == PathMode::kIndexed
                               ? xml::PathEvalMode::kIndexed
                               : xml::PathEvalMode::kScan);
+  // Observability wiring (src/obs/): an explicit instrumentation request
+  // wins; the environment knobs fill in what the caller left off, so
+  // NALQ_PROFILE=1 / NALQ_TRACE_DIR work on any existing call site. Both
+  // paths are validated before the run starts — a malformed knob is a
+  // kPlanError, never a silently un-profiled run.
+  const bool profiling = (instr != nullptr && instr->profile) ||
+                         nal::EnvKnobBool("NALQ_PROFILE");
+  obs::TraceLog* trace = instr != nullptr ? instr->trace : nullptr;
+  std::optional<obs::TraceLog> own_trace;
+  std::string trace_dir;
+  if (trace == nullptr) {
+    trace_dir = nal::EnvKnobString("NALQ_TRACE_DIR");
+    if (!trace_dir.empty()) {
+      if (!std::filesystem::is_directory(trace_dir)) {
+        throw Error(ErrorCode::kPlanError,
+                    "malformed environment knob NALQ_TRACE_DIR=\"" +
+                        trace_dir + "\" (not a usable directory)",
+                    0, trace_dir, "engine");
+      }
+      own_trace.emplace();
+      trace = &*own_trace;
+    }
+  }
+  evaluator.set_trace(trace);
+  std::optional<obs::ProfileCollector> collector;
+  std::map<const nal::AlgebraOp*, opt::OpEstimate> node_estimates;
+  if (profiling) {
+    collector.emplace(*plan);
+    evaluator.set_profile(&*collector);
+    // Per-node optimizer row estimates from the same estimator the plan
+    // chooser ran — rows are budget-independent, so the root estimate
+    // equals the chosen alternative's PlanEstimate::rows. The walk is
+    // plan-sized (cheap) and reads store statistics, hence the lease.
+    xml::StoreReadLease lease(store_);
+    opt::CostModel model(memory_budget_bytes);
+    opt::CardinalityEstimator estimator(store_, model);
+    estimator.set_node_recorder(&node_estimates);
+    estimator.EstimatePlan(*plan);
+  }
   // Lifecycle wiring: an explicit deadline wins, the NALQ_DEADLINE_MS
   // environment default applies otherwise (mirroring the budget knob) — but
   // never to a caller token that already carries a deadline: the query
@@ -100,7 +146,9 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
   }
   evaluator.set_control(control);
   RunResult result;
-  switch (mode) {
+  {
+    obs::TraceLog::Span execute_span(trace, "execute");
+    switch (mode) {
     case ExecMode::kStreaming: {
       if (memory_budget_bytes != 0) {
         nal::SpoolContext spool(memory_budget_bytes);
@@ -146,17 +194,29 @@ RunResult Engine::Run(const nal::AlgebraPtr& plan, ExecMode mode,
     case ExecMode::kMaterializing:
       result.root_tuples = evaluator.Eval(*plan).size();
       break;
+    }
   }
   result.output = evaluator.output();
   result.stats = evaluator.stats();
+  if (profiling) {
+    std::map<const nal::AlgebraOp*, double> est_rows;
+    for (const auto& [op, e] : node_estimates) est_rows[op] = e.rows;
+    result.profile = obs::BuildQueryProfile(*plan, *collector, &est_rows);
+  }
+  if (own_trace.has_value()) {
+    // Engine-owned trace: write it out here (the directory was validated
+    // above; a write failure is reported as an empty path by WriteFile and
+    // deliberately does not fail the query).
+    own_trace->WriteFile(trace_dir, "nalq-trace");
+  }
   return result;
 }
 
 RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
                            PathMode path_mode, unsigned threads,
                            uint64_t memory_budget_bytes, PlanChoice choice,
-                           uint64_t deadline_ms,
-                           nal::QueryControl* control) const {
+                           uint64_t deadline_ms, nal::QueryControl* control,
+                           const RunInstrumentation* instr) const {
   // Resolve the budget the executors will actually run under so the plan
   // choice sees it too (a build side that spills at run time should be
   // charged for it at choice time).
@@ -165,7 +225,7 @@ RunResult Engine::RunQuery(std::string_view query_text, ExecMode mode,
                                   : nal::SpoolContext::EnvBudgetBytes();
   CompiledQuery q = Compile(query_text, choice, effective_budget);
   return Run(q.best.plan, mode, path_mode, threads, memory_budget_bytes,
-             deadline_ms, control);
+             deadline_ms, control, instr);
 }
 
 }  // namespace nalq::engine

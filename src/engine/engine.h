@@ -11,6 +11,8 @@
 #include "nal/cursor.h"
 #include "nal/eval.h"
 #include "nal/query_control.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "opt/cost.h"
 #include "rewrite/unnester.h"
 #include "xml/dtd.h"
@@ -60,6 +62,21 @@ struct CompiledQuery {
   const rewrite::Alternative* Find(std::string_view rule_substring) const;
 };
 
+/// Opt-in observability for one run (src/obs/). Both members default to
+/// "off"; the NALQ_PROFILE / NALQ_TRACE_DIR environment knobs provide the
+/// same switches without touching call sites (Run ORs them in).
+struct RunInstrumentation {
+  /// Collect a per-operator QueryProfile (RunResult::profile). Never
+  /// changes the run's output or EvalStats.
+  bool profile = false;
+  /// Caller-owned span sink for lifecycle tracing, or null. When null but
+  /// NALQ_TRACE_DIR names a directory, Run uses a run-local log and writes
+  /// it there itself; a caller-provided log is never written by Run (the
+  /// caller — e.g. the query service, which owns spans for the whole
+  /// submit→merge lifecycle — decides where it goes).
+  obs::TraceLog* trace = nullptr;
+};
+
 /// One query execution's outcome.
 struct RunResult {
   std::string output;
@@ -72,6 +89,13 @@ struct RunResult {
   /// Root tuples the run produced — the "actual rows" the benchmark
   /// harness compares against the optimizer's row estimate.
   uint64_t root_tuples = 0;
+  /// Per-operator profile (enabled == false unless the run asked for one
+  /// via RunInstrumentation::profile or NALQ_PROFILE=1). Per-operator
+  /// `rows` partition stats.tuples_produced and are identical across
+  /// executors and thread counts; est_rows carries the optimizer's
+  /// node-level row estimates for drift analysis
+  /// (tools/compare_estimates.py).
+  obs::QueryProfile profile;
 };
 
 /// Which executor evaluates a plan. All three produce byte-identical output
@@ -157,13 +181,19 @@ class Engine {
   /// (RequestCancel from any thread aborts it with kCancelled); when null
   /// but a deadline is active, Run wires an internal token. The token must
   /// outlive the call; a deadline_ms is armed on whichever token is used.
+  ///
+  /// `instr` opts into per-operator profiling and lifecycle tracing (see
+  /// RunInstrumentation); the NALQ_PROFILE / NALQ_TRACE_DIR environment
+  /// knobs apply when it is null or leaves a switch off. Neither ever
+  /// changes the run's output bytes or EvalStats.
   RunResult Run(const nal::AlgebraPtr& plan,
                 ExecMode mode = ExecMode::kStreaming,
                 PathMode path_mode = PathMode::kIndexed,
                 unsigned threads = 0,
                 uint64_t memory_budget_bytes = 0,
                 uint64_t deadline_ms = 0,
-                nal::QueryControl* control = nullptr) const;
+                nal::QueryControl* control = nullptr,
+                const RunInstrumentation* instr = nullptr) const;
 
   /// Convenience: compile with unnesting and run the best plan. Plan choice
   /// is cost-based (see PlanChoice::kCost) and budget-aware: the effective
@@ -179,7 +209,8 @@ class Engine {
                      uint64_t memory_budget_bytes = 0,
                      PlanChoice choice = PlanChoice::kCost,
                      uint64_t deadline_ms = 0,
-                     nal::QueryControl* control = nullptr) const;
+                     nal::QueryControl* control = nullptr,
+                     const RunInstrumentation* instr = nullptr) const;
 
  private:
   xml::Store store_;

@@ -1,6 +1,7 @@
 #include "nal/cursor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -938,21 +939,104 @@ CursorPtr MakeOpCursor(const AlgebraOp& op, ExecContext& ctx) {
   throw std::logic_error("unknown operator kind");
 }
 
+/// Per-operator profiling decorator (obs/profile.h) — the OpContextCursor
+/// pattern from the spool layer: created only when the run's evaluator
+/// carries a ProfileCollector, so profiling off costs nothing here. Counts
+/// Open/Next/Close calls, accrues wall time and spill-byte deltas inclusive
+/// of the subtree, and holds the collector's attribution scope around every
+/// inner call so the universal count site (Evaluator::CountProduced) books
+/// this operator's emissions — including those of algebra nested in its
+/// subscripts — against it.
+class ProfileCursor final : public Cursor {
+ public:
+  ProfileCursor(ExecContext& ctx, obs::ProfileCollector* collector,
+                obs::OpMetrics* metrics, CursorPtr inner)
+      : ctx_(ctx),
+        collector_(collector),
+        metrics_(metrics),
+        inner_(std::move(inner)) {}
+
+  void Open() override {
+    ++metrics_->open_calls;
+    Measured scope(this);
+    inner_->Open();
+  }
+  bool Next(Tuple* out) override {
+    ++metrics_->next_calls;
+    Measured scope(this);
+    return inner_->Next(out);
+  }
+  void Close() override {
+    ++metrics_->close_calls;
+    Measured scope(this);
+    inner_->Close();
+  }
+
+ private:
+  /// Scope guard: swaps the attribution scope to this operator and accrues
+  /// wall/spill on exit — exception-safe, so an unwinding cancellation
+  /// still restores the enclosing operator's scope.
+  struct Measured {
+    explicit Measured(ProfileCursor* c)
+        : cursor(c),
+          saved(c->collector_->current()),
+          spill_before(c->ctx_.ev->stats().spill.spilled_bytes),
+          begin(std::chrono::steady_clock::now()) {
+      c->collector_->set_current(c->metrics_);
+    }
+    ~Measured() {
+      cursor->metrics_->wall_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count());
+      cursor->metrics_->spill_bytes +=
+          cursor->ctx_.ev->stats().spill.spilled_bytes - spill_before;
+      cursor->collector_->set_current(saved);
+    }
+    ProfileCursor* cursor;
+    obs::OpMetrics* saved;
+    uint64_t spill_before;
+    std::chrono::steady_clock::time_point begin;
+  };
+
+  ExecContext& ctx_;
+  obs::ProfileCollector* collector_;
+  obs::OpMetrics* metrics_;
+  CursorPtr inner_;
+};
+
+/// Wraps `inner` in a ProfileCursor when profiling is on AND `op` is a
+/// tracked plan node (untracked shapes — e.g. cursors over subscript
+/// algebra — keep their enclosing operator's scope).
+CursorPtr MaybeProfileCursor(const AlgebraOp& op, ExecContext& ctx,
+                             CursorPtr inner) {
+  obs::ProfileCollector* collector = ctx.ev->profile();
+  if (collector == nullptr) return inner;
+  obs::OpMetrics* metrics = collector->Find(&op);
+  if (metrics == nullptr) return inner;
+  return std::make_unique<ProfileCursor>(ctx, collector, metrics,
+                                         std::move(inner));
+}
+
 }  // namespace
 
 CursorPtr MakeCursor(const AlgebraOp& op, ExecContext& ctx) {
   if (ctx.exchange_op == &op && ctx.make_exchange != nullptr) {
     // Fire the injection once; the exchange builds its own source cursor
-    // through this same context, and must not recurse into itself.
+    // through this same context, and must not recurse into itself. The
+    // decorator wraps the exchange cursor itself, so the injection node's
+    // profile covers source drain + worker wait + merge (its workers' own
+    // processing is folded in from the worker collectors at Close).
     std::function<CursorPtr(ExecContext&)> factory =
         std::move(ctx.make_exchange);
     ctx.make_exchange = nullptr;
-    return factory(ctx);
+    return MaybeProfileCursor(op, ctx, factory(ctx));
   }
   if (op.cse_id >= 0 && ctx.env->empty()) {
-    return std::make_unique<CseCursor>(op, ctx);
+    return MaybeProfileCursor(op, ctx,
+                              std::make_unique<CseCursor>(op, ctx));
   }
-  return MakeOpCursor(op, ctx);
+  return MaybeProfileCursor(op, ctx, MakeOpCursor(op, ctx));
 }
 
 // ---------------------------------------------------------------------------
@@ -1121,7 +1205,9 @@ void ReleaseSharedJoin(SharedJoinBuild& build, ExecContext& ctx) {
 
 CursorPtr MakeProbeCursorOver(const AlgebraOp& op, ExecContext& ctx,
                               CursorPtr input, const SharedJoinBuild& build) {
-  return std::make_unique<SharedProbeCursor>(op, ctx, std::move(input), build);
+  return MaybeProfileCursor(
+      op, ctx,
+      std::make_unique<SharedProbeCursor>(op, ctx, std::move(input), build));
 }
 
 bool IsPartitionableOp(const AlgebraOp& op) {
@@ -1148,20 +1234,27 @@ bool IsPartitionableOp(const AlgebraOp& op) {
 
 CursorPtr MakeCursorOver(const AlgebraOp& op, ExecContext& ctx,
                          CursorPtr input) {
+  CursorPtr c;
   switch (op.kind) {
     case OpKind::kSelect:
-      return std::make_unique<SelectCursor>(op, ctx, std::move(input));
+      c = std::make_unique<SelectCursor>(op, ctx, std::move(input));
+      break;
     case OpKind::kProject:
-      return std::make_unique<ProjectCursor>(op, ctx, std::move(input));
+      c = std::make_unique<ProjectCursor>(op, ctx, std::move(input));
+      break;
     case OpKind::kMap:
-      return std::make_unique<MapCursor>(op, ctx, std::move(input));
+      c = std::make_unique<MapCursor>(op, ctx, std::move(input));
+      break;
     case OpKind::kUnnestMap:
-      return std::make_unique<UnnestMapCursor>(op, ctx, std::move(input));
+      c = std::make_unique<UnnestMapCursor>(op, ctx, std::move(input));
+      break;
     case OpKind::kUnnest:
-      return std::make_unique<UnnestCursor>(op, ctx, std::move(input));
+      c = std::make_unique<UnnestCursor>(op, ctx, std::move(input));
+      break;
     default:
       throw std::logic_error("MakeCursorOver: operator is not partitionable");
   }
+  return MaybeProfileCursor(op, ctx, std::move(c));
 }
 
 namespace {

@@ -21,6 +21,7 @@
 #define NALQ_NAL_ENV_KNOBS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace nalq::nal {
 
@@ -30,6 +31,19 @@ namespace nalq::nal {
 /// environment on every call — callers that want once-per-process semantics
 /// cache the result in a function-local static (the existing idiom).
 uint64_t EnvKnobU64(const char* name, uint64_t fallback = 0);
+
+/// Boolean knob, strictly "0" or "1" (NALQ_PROFILE and friends). Unset or
+/// empty returns `fallback`; anything else — including "true", "yes", "2" —
+/// throws engine::Error(kPlanError) naming the variable, for the same
+/// reason as the numeric knobs: a typo'd knob silently meaning "off" is the
+/// most dangerous possible misread.
+bool EnvKnobBool(const char* name, bool fallback = false);
+
+/// String knob (NALQ_TRACE_DIR). Unset or empty returns `fallback`; every
+/// non-empty value is returned verbatim — semantic validation (is this a
+/// usable directory?) is the consumer's job, which raises kPlanError naming
+/// the variable when it fails (engine/engine.cpp).
+std::string EnvKnobString(const char* name, std::string fallback = {});
 
 }  // namespace nalq::nal
 

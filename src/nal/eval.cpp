@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
@@ -495,6 +496,40 @@ Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
   if (op.cse_id >= 0 && env.empty()) {
     if (const Sequence* cached = CseFind(op.cse_id)) return *cached;
   }
+  // Profile scope (obs/profile.h): a tracked plan node attributes its
+  // emissions — and those of any untracked subscript algebra it evaluates —
+  // to itself; untracked nested algebra inherits the enclosing scope. This
+  // mirrors the streaming ProfileCursor's stack discipline, which is what
+  // makes per-operator rows identical across executors. Wall time here is
+  // inclusive of children, like the decorator's; one EvalOp counts as one
+  // "open". The guard restores the scope even when an operator throws
+  // (cancellation, deadline) so a caller that catches and continues never
+  // sees a dangling scope.
+  struct ProfileScope {
+    obs::ProfileCollector* collector = nullptr;
+    obs::OpMetrics* mine = nullptr;
+    obs::OpMetrics* saved = nullptr;
+    std::chrono::steady_clock::time_point begin;
+    ~ProfileScope() {
+      if (mine != nullptr) {
+        mine->wall_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+        collector->set_current(saved);
+      }
+    }
+  } scope;
+  if (profile_ != nullptr) {
+    scope.mine = profile_->Find(&op);
+    if (scope.mine != nullptr) {
+      scope.collector = profile_;
+      scope.saved = profile_->current();
+      profile_->set_current(scope.mine);
+      ++scope.mine->open_calls;
+      scope.begin = std::chrono::steady_clock::now();
+    }
+  }
   Sequence out;
   switch (op.kind) {
     case OpKind::kSingleton:
@@ -542,7 +577,7 @@ Sequence Evaluator::EvalOp(const AlgebraOp& op, const Tuple& env) {
       out = EvalXiGroup(op, env);
       break;
   }
-  stats_.tuples_produced += out.size();
+  CountProduced(out.size());
   if (op.cse_id >= 0 && env.empty()) {
     // Move into the cache, hand the caller a copy: one copy on the cold
     // path instead of two.

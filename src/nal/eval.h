@@ -14,6 +14,8 @@
 #include "nal/algebra.h"
 #include "nal/physical.h"
 #include "nal/query_control.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "xml/store.h"
 #include "xml/xpath.h"
 
@@ -129,6 +131,30 @@ class Evaluator {
   EvalStats& stats() { return stats_; }
   const xml::Store& store() const { return store_; }
 
+  /// Opt-in per-operator profiling sink (obs/profile.h), or null = off —
+  /// the only hot-path cost of "off" is the null check in CountProduced.
+  /// Shared by pointer like the control token; must outlive the run. The
+  /// exchange gives each worker evaluator its own clone and folds at Close.
+  void set_profile(obs::ProfileCollector* profile) { profile_ = profile; }
+  obs::ProfileCollector* profile() const { return profile_; }
+
+  /// Lifecycle span sink (obs/trace.h), or null = off. Thread-safe, so the
+  /// exchange shares the run's one log with every worker evaluator.
+  void set_trace(obs::TraceLog* trace) { trace_ = trace; }
+  obs::TraceLog* trace() const { return trace_; }
+
+  /// THE count site: every tuple any operator of any executor emits funnels
+  /// through here (probe::CountProducedTuple per streamed tuple, EvalOp per
+  /// materialized batch), which is what lets profiling attribute rows to
+  /// the operator in scope exactly — per-operator rows partition
+  /// tuples_produced and match across executors by construction.
+  void CountProduced(uint64_t n) {
+    stats_.tuples_produced += n;
+    if (profile_ != nullptr && profile_->current() != nullptr) {
+      profile_->current()->rows += n;
+    }
+  }
+
   /// Cancellation/deadline token for the run (nal/query_control.h), or null
   /// for an uncontrolled run. Shared by pointer: Engine::Run wires one token
   /// into the main evaluator and the exchange clones it onto every worker
@@ -203,6 +229,8 @@ class Evaluator {
   const xml::Store& store_;
   EvalStats stats_;
   QueryControl* control_ = nullptr;
+  obs::ProfileCollector* profile_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
   xml::PathEvalMode path_mode_ = xml::PathEvalMode::kIndexed;
   std::string output_;
   std::unordered_map<int, Sequence> cse_cache_;

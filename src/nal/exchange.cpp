@@ -100,6 +100,9 @@ struct WorkerPipeline {
   PartitionCursor* leaf = nullptr;  ///< borrowed from `pipeline`
   CursorPtr pipeline;
   std::unique_ptr<SpoolContext> spool;
+  /// Worker-private profile clone (merged by MergeCursor::Close alongside
+  /// the stats fold); null when the run is not profiling.
+  std::unique_ptr<obs::ProfileCollector> profile;
 };
 
 /// State shared between the consumer thread and the chunk tasks. Owned by a
@@ -141,6 +144,7 @@ void RunChunkTask(const std::shared_ptr<ExchangeState>& state, uint64_t ticket,
   std::vector<Tuple> packet;
   std::exception_ptr error;
   if (!state->abort.load(std::memory_order_acquire)) {
+    obs::TraceLog::Span span(wp->ev->trace(), "exchange.chunk");
     try {
       wp->leaf->Reset(std::move(tuples));
       // Re-opening per chunk is sound precisely because segment operators
@@ -220,6 +224,15 @@ class MergeCursor final : public Cursor {
       // the deadline tripping on any thread) stops every chunk task at its
       // next poll.
       wp->ev->set_control(ctx_.ev->control());
+      // Each worker profiles into a private clone of the run's collector
+      // (folded at Close, like the stats), so workers never contend on the
+      // profile. The trace log is one shared thread-safe sink.
+      if (ctx_.ev->profile() != nullptr) {
+        wp->profile = std::make_unique<obs::ProfileCollector>(
+            ctx_.ev->profile()->CloneEmpty());
+        wp->ev->set_profile(wp->profile.get());
+      }
+      wp->ev->set_trace(ctx_.ev->trace());
       // Workers reserve against the SAME accountant as the consumer (the
       // MemoryBudget is thread-safe), so one limit bounds the whole run —
       // the consumer pipeline, which runs every breaker, is not throttled
@@ -299,6 +312,9 @@ class MergeCursor final : public Cursor {
       // one.
       for (const auto& wp : state_->pipelines) {
         ctx_.ev->stats() += wp->ev->stats();
+        if (wp->profile != nullptr && ctx_.ev->profile() != nullptr) {
+          ctx_.ev->profile()->MergeFrom(*wp->profile);
+        }
       }
     }
     for (const SharedJoinBuildPtr& b : shared_builds_) {
@@ -497,6 +513,8 @@ struct GammaWorker {
   };
   std::vector<Result> results;
   std::exception_ptr error;
+  /// Worker-private profile clone (folded at Close); null when off.
+  std::unique_ptr<obs::ProfileCollector> profile;
 };
 
 struct GammaState {
@@ -510,6 +528,7 @@ struct GammaState {
 void RunGammaTask(const std::shared_ptr<GammaState>& state, GammaWorker* w,
                   const AlgebraOp* g) {
   if (!state->abort.load(std::memory_order_acquire)) {
+    obs::TraceLog::Span span(w->ev->trace(), "exchange.gamma");
     try {
       // Bucket in local first-occurrence order. Records are partition-
       // private copies, so members always move (value-equal to the serial
@@ -532,6 +551,9 @@ void RunGammaTask(const std::shared_ptr<GammaState>& state, GammaWorker* w,
       }
       w->part.clear();
       ExecContext wctx{w->ev.get(), &w->env, nullptr, nullptr};
+      // Group emissions belong to the Γ node; the worker has no cursor
+      // chain (so no ProfileCursor scope), set the scope by hand.
+      if (w->profile != nullptr) w->profile->set_current(w->profile->Find(g));
       for (size_t i = 0; i < groups.size(); ++i) {
         Tuple result;
         for (size_t j = 0; j < g->left_attrs.size(); ++j) {
@@ -627,6 +649,12 @@ class GammaExchangeCursor final : public Cursor {
       w->ev = std::make_unique<Evaluator>(ctx_.ev->store());
       w->ev->set_path_mode(ctx_.ev->path_mode());
       w->ev->set_control(ctx_.ev->control());
+      if (ctx_.ev->profile() != nullptr) {
+        w->profile = std::make_unique<obs::ProfileCollector>(
+            ctx_.ev->profile()->CloneEmpty());
+        w->ev->set_profile(w->profile.get());
+      }
+      w->ev->set_trace(ctx_.ev->trace());
       ++state_->dispatched;
       std::shared_ptr<GammaState> state = state_;
       const AlgebraOp* gp = &g;
@@ -673,6 +701,9 @@ class GammaExchangeCursor final : public Cursor {
     }
     for (const auto& w : workers_) {
       if (w->ev != nullptr) ctx_.ev->stats() += w->ev->stats();
+      if (w->profile != nullptr && ctx_.ev->profile() != nullptr) {
+        ctx_.ev->profile()->MergeFrom(*w->profile);
+      }
     }
   }
 

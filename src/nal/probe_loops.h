@@ -43,9 +43,11 @@
 namespace nalq::nal::probe {
 
 inline void CountProducedTuple(ExecContext& ctx) {
-  ++ctx.ev->stats().tuples_produced;
   // Every operator of every executor funnels its emissions through this
-  // counter, which makes it the universal per-tuple cancellation point.
+  // counter (Evaluator::CountProduced also attributes the tuple to the
+  // profiled operator in scope), which makes it the universal per-tuple
+  // cancellation point.
+  ctx.ev->CountProduced(1);
   ctx.ev->CheckInterrupt();
 }
 

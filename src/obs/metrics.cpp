@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace nalq::obs {
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0) || std::isnan(v)) return 0;  // <= 0, NaN → lowest bucket
+  int exp = 0;
+  double frac = std::frexp(v, &exp);  // v = frac · 2^exp, frac ∈ [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp >= kMaxExp) return kBuckets - 1;
+  int sub = static_cast<int>((frac - 0.5) * 2 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::UpperBound(int i) {
+  if (i <= 0) return std::ldexp(0.5, kMinExp);  // everything at or below 2^min
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  int off = i - 1;
+  int exp = kMinExp + off / kSubBuckets;
+  int sub = off % kSubBuckets;
+  return std::ldexp(0.5 + (sub + 1) / (2.0 * kSubBuckets), exp);
+}
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double add = (!(v > 0) || std::isnan(v)) ? 0.0 : v;
+  uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double cur;
+    static_assert(sizeof(cur) == sizeof(expected));
+    std::memcpy(&cur, &expected, sizeof(cur));
+    double next = cur + add;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(expected, next_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based; q=0.5 over 10 observations
+  // lands on the 5th.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * total + 0.5));
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) return UpperBound(i);
+  }
+  return UpperBound(kBuckets - 1);
+}
+
+std::vector<Histogram::Bucket> Histogram::Snapshot() const {
+  std::vector<Bucket> out;
+  for (int i = 0; i < kBuckets; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.push_back(Bucket{UpperBound(i), n});
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << FormatDouble(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (const Histogram::Bucket& b : h->Snapshot()) {
+      cum += b.count;
+      out << name << "_bucket{le=\"" << FormatDouble(b.le) << "\"} " << cum
+          << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
+        << name << "_sum " << FormatDouble(h->sum()) << "\n"
+        << name << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::Json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << c->value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\"" << name
+        << "\":" << FormatDouble(g->value());
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << FormatDouble(h->sum())
+        << ",\"p50\":" << FormatDouble(h->Quantile(0.5))
+        << ",\"p90\":" << FormatDouble(h->Quantile(0.9))
+        << ",\"p99\":" << FormatDouble(h->Quantile(0.99)) << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace nalq::obs

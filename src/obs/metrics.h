@@ -1,0 +1,135 @@
+// Thread-safe metrics primitives for the service layer (src/obs/README.md).
+//
+// Three instrument kinds, all safe for concurrent update without holding a
+// lock once obtained from the registry:
+//
+//   * Counter   — monotonically increasing uint64, relaxed atomic adds;
+//   * Gauge     — a settable double (last write wins);
+//   * Histogram — log-bucketed distribution of non-negative doubles with
+//                 p50/p90/p99 extraction and Prometheus-style cumulative
+//                 bucket exposition. Buckets follow a base-2 octave scheme
+//                 with 4 linear sub-buckets per octave, so any reported
+//                 quantile is within ~12.5% of the true value (the bucket
+//                 upper bound is returned; see src/obs/README.md for the
+//                 error argument). Observe() is wait-free: one frexp plus
+//                 two relaxed atomic adds.
+//
+// MetricsRegistry interns instruments by name: the name → instrument maps
+// are mutex-guarded (Get* is called once per metric per call site, the
+// result cached by the caller), the instruments themselves are lock-free.
+// Exposition renders every registered instrument as Prometheus text
+// (counters as `_total`-suffixed samples if the caller named them so;
+// histograms as cumulative `_bucket{le=...}`/`_sum`/`_count` families) or
+// as one JSON object.
+//
+// This header depends on the standard library only — the engine and nal
+// layers can use it without the service leaking back into them.
+#ifndef NALQ_OBS_METRICS_H_
+#define NALQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nalq::obs {
+
+/// Monotonic counter. Add() is a relaxed atomic: counters are reconciled by
+/// readers at exposition time, never used for synchronization.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double. Set/value are relaxed atomics (no read-modify-
+/// write cycle, so no CAS loop needed).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over non-negative doubles (negative observations
+/// clamp to the lowest bucket rather than being dropped — a clock that runs
+/// backwards should be visible, not invisible).
+class Histogram {
+ public:
+  /// 4 linear sub-buckets per base-2 octave: relative quantile error is
+  /// bounded by the sub-bucket width, 1/(2·4) = 12.5%.
+  static constexpr int kSubBuckets = 4;
+  /// Octave range [2^kMinExp, 2^kMaxExp) covers 1e-9 .. 1e+12 — nanoseconds
+  /// to terabytes in the same scheme; out-of-range values clamp to the
+  /// first/last bucket.
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 40;
+  static constexpr int kBuckets = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// The value at quantile `q` in [0, 1]: the upper bound of the bucket the
+  /// rank falls in (0 when the histogram is empty). Monotone in q.
+  double Quantile(double q) const;
+
+  /// One non-empty bucket: its inclusive upper bound and its own (NOT
+  /// cumulative) count. Snapshot order is ascending `le`.
+  struct Bucket {
+    double le = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Bucket> Snapshot() const;
+
+  /// Inclusive upper bound of bucket `i` (exposed for tests).
+  static double UpperBound(int i);
+  /// Bucket index for value `v` (exposed for tests).
+  static int BucketIndex(double v);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  /// Sum kept as a CAS loop over a double's bit pattern: atomic<double>::
+  /// fetch_add is C++20 but not yet lock-free everywhere.
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Name-interned instruments + exposition. Thread-safe; references returned
+/// by Get* stay valid for the registry's lifetime (instruments are never
+/// removed).
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition: `# TYPE` comment per family; histograms as
+  /// cumulative `_bucket{le="..."}` samples (non-empty buckets plus
+  /// `+Inf`), `_sum` and `_count`.
+  std::string PrometheusText() const;
+
+  /// The same data as one JSON object:
+  /// {"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,p50,p90,p99},...}}.
+  std::string Json() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nalq::obs
+
+#endif  // NALQ_OBS_METRICS_H_

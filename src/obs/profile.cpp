@@ -1,0 +1,159 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "nal/printer.h"
+
+namespace nalq::obs {
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+}  // namespace
+
+OpMetrics& OpMetrics::operator+=(const OpMetrics& other) {
+  open_calls = SatAdd(open_calls, other.open_calls);
+  next_calls = SatAdd(next_calls, other.next_calls);
+  close_calls = SatAdd(close_calls, other.close_calls);
+  rows = SatAdd(rows, other.rows);
+  wall_ns = SatAdd(wall_ns, other.wall_ns);
+  spill_bytes = SatAdd(spill_bytes, other.spill_bytes);
+  return *this;
+}
+
+namespace {
+
+void RegisterTree(const nal::AlgebraOp& op,
+                  std::unordered_map<const nal::AlgebraOp*, OpMetrics>* out) {
+  out->emplace(&op, OpMetrics{});
+  for (const nal::AlgebraPtr& child : op.children) {
+    if (child != nullptr) RegisterTree(*child, out);
+  }
+}
+
+}  // namespace
+
+ProfileCollector::ProfileCollector(const nal::AlgebraOp& root) {
+  RegisterTree(root, &metrics_);
+}
+
+ProfileCollector ProfileCollector::CloneEmpty() const {
+  ProfileCollector clone;
+  for (const auto& [node, m] : metrics_) {
+    clone.metrics_.emplace(node, OpMetrics{});
+  }
+  return clone;
+}
+
+void ProfileCollector::MergeFrom(const ProfileCollector& worker) {
+  for (const auto& [node, m] : worker.metrics_) {
+    metrics_[node] += m;
+  }
+}
+
+uint64_t ProfileCollector::TotalRows() const {
+  uint64_t total = 0;
+  for (const auto& [node, m] : metrics_) total = SatAdd(total, m.rows);
+  return total;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+ProfileNode BuildNode(const nal::AlgebraOp& op,
+                      const ProfileCollector& collector,
+                      const std::map<const nal::AlgebraOp*, double>* est_rows) {
+  ProfileNode node;
+  node.op = nal::OpKindName(op.kind);
+  node.headline = nal::OpHeadline(op);
+  if (const OpMetrics* m = collector.Find(&op)) node.metrics = *m;
+  if (est_rows != nullptr) {
+    auto it = est_rows->find(&op);
+    if (it != est_rows->end()) node.est_rows = it->second;
+  }
+  for (const nal::AlgebraPtr& child : op.children) {
+    if (child != nullptr) {
+      node.children.push_back(BuildNode(*child, collector, est_rows));
+    }
+  }
+  return node;
+}
+
+void NodeToJson(const ProfileNode& n, std::ostringstream* out) {
+  char est[64];
+  std::snprintf(est, sizeof(est), "%.3f", n.est_rows);
+  *out << "{\"op\":" << JsonQuote(n.op)
+       << ",\"headline\":" << JsonQuote(n.headline) << ",\"est_rows\":" << est
+       << ",\"rows\":" << n.metrics.rows
+       << ",\"wall_ns\":" << n.metrics.wall_ns
+       << ",\"spill_bytes\":" << n.metrics.spill_bytes
+       << ",\"open_calls\":" << n.metrics.open_calls
+       << ",\"next_calls\":" << n.metrics.next_calls
+       << ",\"close_calls\":" << n.metrics.close_calls << ",\"children\":[";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i != 0) *out << ",";
+    NodeToJson(n.children[i], out);
+  }
+  *out << "]}";
+}
+
+}  // namespace
+
+QueryProfile BuildQueryProfile(
+    const nal::AlgebraOp& root, const ProfileCollector& collector,
+    const std::map<const nal::AlgebraOp*, double>* est_rows) {
+  QueryProfile profile;
+  profile.enabled = true;
+  profile.root = BuildNode(root, collector, est_rows);
+  profile.total_rows = collector.TotalRows();
+  return profile;
+}
+
+std::string QueryProfile::ToJson() const {
+  if (!enabled) return {};
+  std::ostringstream out;
+  out << "{\"total_rows\":" << total_rows << ",\"root\":";
+  NodeToJson(root, &out);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace nalq::obs

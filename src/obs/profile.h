@@ -1,0 +1,135 @@
+// Per-operator query profiling (the EXPLAIN ANALYZE of this engine).
+//
+// A ProfileCollector is the per-evaluator sink: one OpMetrics slot per
+// *tracked* node — the plan tree's own operators, registered up front by
+// walking `children` (algebra nested inside subscript expressions is
+// deliberately NOT tracked; its work attributes to the operator that
+// evaluates it, identically in every executor, because nested algebra
+// always evaluates through Evaluator::EvalOp).
+//
+// Attribution happens at the two existing tuples_produced count sites via
+// the collector's scope pointer (`current`): the streaming ProfileCursor
+// decorators (cursor.cpp) and the materializing EvalOp maintain it with
+// stack discipline, so `rows` per operator is exact — it partitions
+// EvalStats::tuples_produced — and byte-identical across the streaming,
+// materializing and parallel executors at any thread count
+// (tests/obs_profile_test.cpp asserts it). Wall time, spill bytes and the
+// Open/Next/Close call counts are measured by the decorators and are
+// executor-specific: wall/spill are INCLUSIVE of the subtree (summed over
+// all threads under the exchange), and the materializing evaluator records
+// one `open` per EvalOp with zero next/close.
+//
+// Exchange workers get their own collector over the same tracked node set
+// (CloneEmpty) and the exchange folds them in saturating at Close — the
+// same discipline as EvalStats.
+//
+// When profiling is off no collector exists: the executors' only cost is a
+// null-pointer check per produced tuple / per operator evaluation.
+#ifndef NALQ_OBS_PROFILE_H_
+#define NALQ_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nal/algebra.h"
+
+namespace nalq::obs {
+
+/// One tracked operator's counters.
+struct OpMetrics {
+  uint64_t open_calls = 0;
+  uint64_t next_calls = 0;
+  uint64_t close_calls = 0;
+  /// Tuples this operator emitted (its share of EvalStats::tuples_produced;
+  /// subscript-nested algebra emissions attribute to the owning operator).
+  /// Part of the cross-executor identity contract; the fields above/below
+  /// are not.
+  uint64_t rows = 0;
+  /// Wall time inside this operator's subtree, summed over all threads.
+  uint64_t wall_ns = 0;
+  /// Spool bytes spilled while inside this operator's subtree.
+  uint64_t spill_bytes = 0;
+
+  /// Saturating merge (like EvalStats), used when exchange workers fold.
+  OpMetrics& operator+=(const OpMetrics& other);
+};
+
+/// Per-evaluator accumulation sink keyed by plan node. Single-threaded use
+/// per instance; the parallel executor gives every worker its own clone.
+class ProfileCollector {
+ public:
+  /// Registers every node of the plan tree rooted at `root` as tracked.
+  explicit ProfileCollector(const nal::AlgebraOp& root);
+
+  /// A collector with the same tracked node set and zeroed counters — the
+  /// per-worker clone the exchange hands each worker evaluator.
+  ProfileCollector CloneEmpty() const;
+
+  /// The tracked slot for `op`, or null for untracked (subscript) nodes.
+  OpMetrics* Find(const nal::AlgebraOp* op) {
+    auto it = metrics_.find(op);
+    return it == metrics_.end() ? nullptr : &it->second;
+  }
+  const OpMetrics* Find(const nal::AlgebraOp* op) const {
+    auto it = metrics_.find(op);
+    return it == metrics_.end() ? nullptr : &it->second;
+  }
+
+  /// The operator currently in scope — where CountProduced attributes rows.
+  OpMetrics* current() const { return current_; }
+  void set_current(OpMetrics* m) { current_ = m; }
+
+  /// Folds a worker's counters in, slot by slot, saturating.
+  void MergeFrom(const ProfileCollector& worker);
+
+  /// Σ rows over every tracked slot (== EvalStats::tuples_produced after a
+  /// completed run).
+  uint64_t TotalRows() const;
+
+ private:
+  ProfileCollector() = default;
+
+  std::unordered_map<const nal::AlgebraOp*, OpMetrics> metrics_;
+  OpMetrics* current_ = nullptr;
+};
+
+/// One node of the serialized profile tree.
+struct ProfileNode {
+  std::string op;        ///< operator kind (nal::OpKindName)
+  std::string headline;  ///< one-line rendering (nal/printer.h)
+  double est_rows = -1;  ///< optimizer row estimate; -1 = unavailable
+  OpMetrics metrics;
+  std::vector<ProfileNode> children;
+};
+
+/// The profile a run returns (engine::RunResult::profile). `enabled` false
+/// means profiling was off and everything else is default-initialized.
+struct QueryProfile {
+  bool enabled = false;
+  ProfileNode root;
+  /// Σ rows over the tree — equals the run's EvalStats::tuples_produced.
+  uint64_t total_rows = 0;
+
+  /// JSON tree: {"total_rows":N,"root":{"op":...,"headline":...,
+  /// "est_rows":...,"rows":...,"wall_ns":...,"spill_bytes":...,
+  /// "open_calls":...,"next_calls":...,"close_calls":...,
+  /// "children":[...]}} — empty string when !enabled.
+  std::string ToJson() const;
+};
+
+/// Assembles the profile tree from a finished run's collector. `est_rows`
+/// maps plan nodes to the optimizer's row estimates (may be null).
+QueryProfile BuildQueryProfile(
+    const nal::AlgebraOp& root, const ProfileCollector& collector,
+    const std::map<const nal::AlgebraOp*, double>* est_rows);
+
+/// JSON string literal (quotes + escapes) — shared by the profile/trace
+/// serializers and the service's slow-query log.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace nalq::obs
+
+#endif  // NALQ_OBS_PROFILE_H_

@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "obs/profile.h"  // JsonQuote
+
+namespace nalq::obs {
+
+namespace {
+
+uint64_t ThisThreadId() {
+  // A stable small-ish id per thread; Chrome only needs distinctness.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
+}
+
+}  // namespace
+
+void TraceLog::AddSpan(const char* name, Clock::time_point begin,
+                       Clock::time_point end) {
+  Rec rec;
+  rec.name = name;
+  rec.tid = ThisThreadId();
+  rec.ts_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(begin - epoch_)
+          .count();
+  rec.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+size_t TraceLog::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string TraceLog::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Rec& r = spans_[i];
+    if (i != 0) out << ",";
+    out << "{\"name\":" << JsonQuote(r.name)
+        << ",\"ph\":\"X\",\"cat\":\"nalq\",\"pid\":1,\"tid\":" << r.tid
+        << ",\"ts\":" << r.ts_us << ",\"dur\":" << r.dur_us << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string TraceLog::WriteFile(const std::string& dir,
+                                const char* prefix) const {
+  static std::atomic<uint64_t> seq{0};
+  std::string path = dir + "/" + prefix + "-" + std::to_string(getpid()) +
+                     "-" + std::to_string(seq.fetch_add(1)) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << ToChromeJson() << "\n";
+  return out ? path : std::string();
+}
+
+void SlowQueryLog::Append(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  out << json_line << "\n";
+}
+
+}  // namespace nalq::obs

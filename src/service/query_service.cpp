@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "nal/env_knobs.h"
+#include "obs/profile.h"
 
 namespace nalq::service {
 
@@ -56,6 +59,47 @@ QueryService::QueryService(engine::Engine& engine, ServiceOptions options)
   }
   if (options_.default_deadline_ms == 0) {
     options_.default_deadline_ms = nal::QueryControl::EnvDeadlineMs();
+  }
+  if (options_.slow_query_ms == 0) {
+    options_.slow_query_ms = EnvKnobU64("NALQ_SLOW_QUERY_MS", 0);
+  }
+  if (options_.trace_dir.empty()) {
+    options_.trace_dir = nal::EnvKnobString("NALQ_TRACE_DIR");
+  }
+  if (!options_.trace_dir.empty() &&
+      !std::filesystem::is_directory(options_.trace_dir)) {
+    throw engine::Error(engine::ErrorCode::kPlanError,
+                        "malformed environment knob NALQ_TRACE_DIR=\"" +
+                            options_.trace_dir + "\" (not a usable directory)",
+                        0, options_.trace_dir, "query_service");
+  }
+  if (options_.slow_query_ms != 0) {
+    if (options_.slow_query_log_path.empty()) {
+      options_.slow_query_log_path =
+          options_.trace_dir.empty()
+              ? "nalq_slow_queries.jsonl"
+              : options_.trace_dir + "/nalq_slow_queries.jsonl";
+    }
+    slow_log_ =
+        std::make_unique<obs::SlowQueryLog>(options_.slow_query_log_path);
+  }
+  // Pre-register every metric family the service publishes so the
+  // exposition is complete (all zeros) from the first scrape — a counter
+  // that only appears once its event fires is indistinguishable from a
+  // counter that doesn't exist.
+  for (const char* name :
+       {"nalq_queries_submitted_total", "nalq_queries_admitted_total",
+        "nalq_queries_completed_total", "nalq_queries_failed_total",
+        "nalq_queries_shed_total", "nalq_queries_degraded_total",
+        "nalq_queries_cancelled_total", "nalq_queries_deadline_expired_total",
+        "nalq_plan_cache_hits_total", "nalq_plan_cache_misses_total",
+        "nalq_spill_bytes_total"}) {
+    metrics_.GetCounter(name);
+  }
+  metrics_.GetGauge("nalq_plan_cache_hit_ratio");
+  for (const char* name : {"nalq_queue_seconds", "nalq_run_seconds",
+                           "nalq_query_seconds", "nalq_grant_bytes"}) {
+    metrics_.GetHistogram(name);
   }
 }
 
@@ -250,26 +294,62 @@ QueryResult QueryService::Execute(const std::string& query_text,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
   }
+  metrics_.GetCounter("nalq_queries_submitted_total").Add();
   const auto submit_time = Clock::now();
+  // One trace log per query when tracing is on: its spans cover the whole
+  // lifecycle — compile, admission wait, the engine's execute span and the
+  // exchange's per-worker spans — and it is written as one Chrome
+  // trace_event file per query at the end (including shed/failed queries:
+  // those traces are the interesting ones).
+  std::optional<obs::TraceLog> trace;
+  if (!options_.trace_dir.empty()) trace.emplace();
+  obs::TraceLog* trace_ptr = trace.has_value() ? &*trace : nullptr;
+  auto write_trace = [&] {
+    if (trace.has_value()) {
+      trace->WriteFile(options_.trace_dir, "nalq-query");
+    }
+  };
 
   std::shared_ptr<const engine::CompiledQuery> compiled;
   try {
+    obs::TraceLog::Span span(trace_ptr, "compile");
     compiled = CompileCached(query_text, q.choice, &r.cache_hit);
   } catch (const engine::Error& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failed;
+    }
+    metrics_.GetCounter("nalq_queries_failed_total").Add();
     r.error_code = e.code();
     r.error_what = e.what();
+    write_trace();
     return r;
   } catch (const std::exception& e) {
     // Parse/translate errors surface as std::runtime_error; the service
     // contract is structured results, so fold them into the plan-error
     // bucket rather than throwing at a concurrent caller.
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failed;
+    }
+    metrics_.GetCounter("nalq_queries_failed_total").Add();
     r.error_code = engine::ErrorCode::kPlanError;
     r.error_what = e.what();
+    write_trace();
     return r;
+  }
+  metrics_
+      .GetCounter(r.cache_hit ? "nalq_plan_cache_hits_total"
+                              : "nalq_plan_cache_misses_total")
+      .Add();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double lookups =
+        static_cast<double>(stats_.cache_hits + stats_.cache_misses);
+    if (lookups > 0) {
+      metrics_.GetGauge("nalq_plan_cache_hit_ratio")
+          .Set(static_cast<double>(stats_.cache_hits) / lookups);
+    }
   }
 
   // One deadline spans queue wait + run: arm the token now, before
@@ -284,32 +364,73 @@ QueryResult QueryService::Execute(const std::string& query_text,
 
   const auto queue_deadline =
       submit_time + std::chrono::milliseconds(options_.queue_deadline_ms);
-  Admission adm = Admit(Footprint(*compiled), q.threads, control,
-                        queue_deadline);
+  Admission adm;
+  {
+    obs::TraceLog::Span span(trace_ptr, "admit");
+    adm = Admit(Footprint(*compiled), q.threads, control, queue_deadline);
+  }
   const auto admit_time = Clock::now();
   r.queued = adm.queued;
   r.degraded = adm.degraded;
   r.queue_seconds = Seconds(submit_time, admit_time);
+  metrics_.GetHistogram("nalq_queue_seconds").Observe(r.queue_seconds);
   if (!adm.admitted) {
+    switch (adm.reject_code) {
+      case engine::ErrorCode::kCancelled:
+        metrics_.GetCounter("nalq_queries_cancelled_total").Add();
+        break;
+      case engine::ErrorCode::kDeadlineExceeded:
+        metrics_.GetCounter("nalq_queries_deadline_expired_total").Add();
+        break;
+      default:
+        metrics_.GetCounter("nalq_queries_shed_total").Add();
+        break;
+    }
     r.error_code = adm.reject_code;
     r.error_what = std::move(adm.reject_what);
+    write_trace();
     return r;
   }
   r.threads_granted = adm.threads;
   r.budget_granted = adm.grant;
+  metrics_.GetCounter("nalq_queries_admitted_total").Add();
+  if (adm.degraded) metrics_.GetCounter("nalq_queries_degraded_total").Add();
+  metrics_.GetHistogram("nalq_grant_bytes")
+      .Observe(static_cast<double>(adm.grant));
 
+  // Profiling is on when the caller asked, when NALQ_PROFILE=1 (the engine
+  // ORs that in), or when a slow-query threshold is armed — the profile
+  // must already exist by the time the threshold trips.
+  engine::RunInstrumentation instr;
+  instr.profile = q.profile || options_.slow_query_ms != 0;
+  instr.trace = trace_ptr;
   try {
     engine::RunResult run = engine_.Run(compiled->best.plan, q.mode,
                                         q.path_mode, adm.threads, adm.grant,
-                                        /*deadline_ms=*/0, control);
+                                        /*deadline_ms=*/0, control, &instr);
     r.ok = true;
     r.output = std::move(run.output);
     r.stats = run.stats;
+    r.profile_json = run.profile.ToJson();
+    metrics_.GetCounter("nalq_queries_completed_total").Add();
+    metrics_.GetCounter("nalq_spill_bytes_total")
+        .Add(run.stats.spill.spilled_bytes);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
   } catch (const engine::Error& e) {
     r.error_code = e.code();
     r.error_what = e.what();
+    switch (e.code()) {
+      case engine::ErrorCode::kCancelled:
+        metrics_.GetCounter("nalq_queries_cancelled_total").Add();
+        break;
+      case engine::ErrorCode::kDeadlineExceeded:
+        metrics_.GetCounter("nalq_queries_deadline_expired_total").Add();
+        break;
+      default:
+        metrics_.GetCounter("nalq_queries_failed_total").Add();
+        break;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     switch (e.code()) {
       case engine::ErrorCode::kCancelled:
@@ -325,11 +446,31 @@ QueryResult QueryService::Execute(const std::string& query_text,
   } catch (const std::exception& e) {
     r.error_code = engine::ErrorCode::kPlanError;
     r.error_what = e.what();
+    metrics_.GetCounter("nalq_queries_failed_total").Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failed;
   }
   Release(adm.grant);
-  r.run_seconds = Seconds(admit_time, Clock::now());
+  const auto end_time = Clock::now();
+  r.run_seconds = Seconds(admit_time, end_time);
+  const double total_seconds = Seconds(submit_time, end_time);
+  metrics_.GetHistogram("nalq_run_seconds").Observe(r.run_seconds);
+  metrics_.GetHistogram("nalq_query_seconds").Observe(total_seconds);
+  if (slow_log_ != nullptr &&
+      total_seconds * 1000.0 >= static_cast<double>(options_.slow_query_ms)) {
+    // One JSON line per slow query, profile embedded verbatim (it is
+    // already a JSON object; "null" when the run never started or
+    // profiling was somehow off).
+    std::string line = "{\"query\":" + obs::JsonQuote(query_text) +
+                       ",\"ok\":" + (r.ok ? "true" : "false") +
+                       ",\"total_seconds\":" + std::to_string(total_seconds) +
+                       ",\"queue_seconds\":" + std::to_string(r.queue_seconds) +
+                       ",\"run_seconds\":" + std::to_string(r.run_seconds) +
+                       ",\"profile\":" +
+                       (r.profile_json.empty() ? "null" : r.profile_json) + "}";
+    slow_log_->Append(line);
+  }
+  write_trace();
   return r;
 }
 

@@ -83,6 +83,8 @@
 #include "engine/engine.h"
 #include "engine/error.h"
 #include "nal/query_control.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nalq::service {
 
@@ -113,6 +115,22 @@ struct ServiceOptions {
   uint64_t default_deadline_ms = 0;
   /// Plan-cache capacity in entries; 0 disables caching.
   size_t plan_cache_capacity = 64;
+
+  // ---- observability (src/obs/) ------------------------------------------
+  /// Queries whose end-to-end latency (queue wait + run) reaches this many
+  /// milliseconds are appended — with their full per-operator profile — to
+  /// the slow-query log. Arming this implies profiling for every query, so
+  /// the profile is there when the threshold trips.
+  /// 0 -> NALQ_SLOW_QUERY_MS -> off.
+  uint64_t slow_query_ms = 0;
+  /// Directory for per-query Chrome trace_event JSON files (one file per
+  /// query, covering submit -> compile -> admit -> execute plus per-worker
+  /// exchange spans). Must exist. Empty -> NALQ_TRACE_DIR -> tracing off.
+  std::string trace_dir;
+  /// Slow-query log file (JSON lines). Empty -> `<trace_dir>/
+  /// nalq_slow_queries.jsonl`, or `./nalq_slow_queries.jsonl` when tracing
+  /// is off. Only used when slow_query_ms is armed.
+  std::string slow_query_log_path;
 };
 
 /// Per-submission options.
@@ -127,6 +145,10 @@ struct QueryOptions {
   /// Caller-owned cancellation token, honored while queued and while
   /// running; must outlive Execute(). Null = the service uses its own.
   nal::QueryControl* control = nullptr;
+  /// Collect a per-operator profile for this query (QueryResult::
+  /// profile_json). Never changes the output bytes; also switched on
+  /// globally by NALQ_PROFILE=1 or by arming ServiceOptions::slow_query_ms.
+  bool profile = false;
 };
 
 /// Structured outcome. Failures are results, not exceptions: Execute()
@@ -149,6 +171,11 @@ struct QueryResult {
   uint64_t budget_granted = 0;    ///< private accountant limit; 0 = unlimited
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+
+  /// Per-operator profile tree as JSON (obs::QueryProfile::ToJson); empty
+  /// unless profiling was on for this query (QueryOptions::profile,
+  /// NALQ_PROFILE=1, or an armed slow-query threshold) and the run started.
+  std::string profile_json;
 };
 
 /// Monotonic service counters (snapshot; see QueryService::stats()).
@@ -199,6 +226,17 @@ class QueryService {
   engine::Engine& engine() { return engine_; }
   const ServiceOptions& options() const { return options_; }
   ServiceStats stats() const;
+
+  /// The service's metrics registry (live; updated by every Execute).
+  /// Families: nalq_queue_seconds / nalq_run_seconds / nalq_query_seconds /
+  /// nalq_grant_bytes histograms, nalq_queries_*_total outcome counters,
+  /// nalq_plan_cache_{hits,misses}_total + nalq_plan_cache_hit_ratio, and
+  /// nalq_spill_bytes_total (see src/obs/README.md).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Prometheus text exposition of every registered metric.
+  std::string MetricsText() const { return metrics_.PrometheusText(); }
+  /// The same data as one JSON object.
+  std::string MetricsJson() const { return metrics_.Json(); }
   /// Currently admitted (running) queries.
   unsigned in_flight() const;
   /// Sum of outstanding budget grants (≤ options().memory_budget_bytes).
@@ -245,6 +283,11 @@ class QueryService {
   uint64_t cache_tick_ = 0;
 
   ServiceStats stats_;  ///< guarded by mu_
+
+  /// Internally thread-safe (atomic instruments); not guarded by mu_.
+  mutable obs::MetricsRegistry metrics_;
+  /// Non-null iff slow_query_ms is armed; internally mutex-guarded.
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace nalq::service

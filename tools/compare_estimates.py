@@ -8,6 +8,12 @@ whether the cost-based choice picked the empirically fastest *enumerated*
 alternative (E4's hand-built single-scan plan is measured but not an
 unnesting alternative, so it cannot be chosen).
 
+With mode="profile" records present (PR 9), additionally prints a
+per-operator worst-offender table: every profiled operator of the
+cost-chosen plan, ranked by estimated-vs-actual row drift (the q-error
+max(est/act, act/est)), so the operator whose cardinality estimate is most
+wrong — the calibration target — is the first line you read.
+
 Usage: tools/compare_estimates.py [path/to/BENCH_results.json]
 """
 
@@ -49,6 +55,62 @@ def rule_matches(pattern, full_rule):
     if contain not in full_rule:
         return False
     return exclude is None or exclude not in full_rule
+
+
+def q_error(est, act):
+    """Symmetric multiplicative drift; inf when one side is zero and the
+    other isn't, 1.0 when both are zero (a correct empty estimate)."""
+    if est <= 0 and act <= 0:
+        return 1.0
+    if est <= 0 or act <= 0:
+        return float("inf")
+    return max(est / act, act / est)
+
+
+def operator_drift_table(records, top_n=15):
+    """Ranks every operator of every mode="profile" record by q-error."""
+    rows = []
+    for r in records:
+        if r.get("mode") != "profile":
+            continue
+        for op in r.get("operators", []):
+            est, act = op.get("est_rows", -1), op.get("actual_rows", -1)
+            if est < 0:  # estimate unavailable for this node
+                continue
+            rows.append((q_error(est, act), r["bench"], r["size"],
+                         op["op"], est, act))
+    if not rows:
+        return
+    rows.sort(key=lambda t: (-t[0], t[1], t[3]))
+    print(f"\nper-operator estimate drift, worst {min(top_n, len(rows))} of "
+          f"{len(rows)} profiled operators (q-error = max(est/act, act/est)):")
+    print(f"  {'q-error':>9s}  {'bench':5s} {'size':>6s}  "
+          f"{'est_rows':>12s} {'actual':>12s}  operator")
+    for qe, bench, size, op, est, act in rows[:top_n]:
+        qe_s = f"{qe:9.2f}" if qe != float("inf") else "      inf"
+        print(f"  {qe_s}  {bench:5s} {size:>6s}  {est:12.1f} {act:12.0f}  "
+              f"{op}")
+    finite = [t[0] for t in rows if t[0] != float("inf")]
+    if finite:
+        finite.sort()
+        print(f"  median q-error {finite[len(finite) // 2]:.2f}, "
+              f"max finite {finite[-1]:.2f}, "
+              f"{len(rows) - len(finite)} operator(s) with zero-row "
+              f"mismatch")
+
+
+def profile_overhead_table(records):
+    """Profiling-ON vs profiling-OFF medians from the mode="profile"
+    records — the zero-overhead claim as numbers."""
+    rows = [(r["bench"], r["size"], r["seconds"], r["profiled_seconds"])
+            for r in records if r.get("mode") == "profile"
+            and r.get("profiled_seconds", -1) >= 0 and r.get("seconds", 0) > 0]
+    if not rows:
+        return
+    print("\nprofiling overhead (same plan, median seconds):")
+    for bench, size, off, on in sorted(rows):
+        print(f"  {bench:5s} @ {size:>6s}  off {off:9.4f}s  on {on:9.4f}s  "
+              f"({(on / off - 1) * 100:+6.1f}%)")
 
 
 def main():
@@ -102,6 +164,8 @@ def main():
             print(f"  {plan:14s} {secs:9.4f}s  est_cost {cost_s}  {rule}")
     print(f"\ncost-based choice picked the fastest enumerated alternative on "
           f"{agree}/{total} experiments")
+    operator_drift_table(records)
+    profile_overhead_table(records)
     return 0
 
 
