@@ -168,6 +168,13 @@ std::string RecordLine(const BenchRecord& r) {
       << ",\"svc_degraded\":" << r.svc_degraded;
   std::snprintf(est, sizeof(est), "%.6f", r.profiled_seconds);
   out << ",\"profiled_seconds\":" << est;
+  std::snprintf(est, sizeof(est), "%.6f", r.cold_open_s);
+  out << ",\"cold_open_s\":" << est;
+  std::snprintf(est, sizeof(est), "%.6f", r.warm_open_s);
+  out << ",\"warm_open_s\":" << est
+      << ",\"persisted_bytes\":" << r.persisted_bytes
+      << ",\"resident_bytes\":" << r.resident_bytes
+      << ",\"rss_delta_bytes\":" << r.rss_delta_bytes;
   if (!r.operators.empty()) {
     out << ",\"operators\":[";
     for (size_t i = 0; i < r.operators.size(); ++i) {

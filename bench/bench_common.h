@@ -83,6 +83,16 @@ struct BenchRecord {
   // profiling-ON median of the same plan, so the profiling overhead is a
   // number in BENCH_results.json, not an assumption.
   double profiled_seconds = -1;
+
+  // Storage fields, set on mode == "storage" records (-1 otherwise): one
+  // record per corpus compares a cold start (parse the XML text) against a
+  // warm attach of the persisted store (bench/bench_q1_dblp.cpp), and
+  // reports what lazy page-in actually materialized after one query.
+  double cold_open_s = -1;       ///< parse-from-text wall clock
+  double warm_open_s = -1;       ///< PersistentStore attach wall clock
+  int64_t persisted_bytes = -1;  ///< on-disk store size
+  int64_t resident_bytes = -1;   ///< store residency charge after one query
+  int64_t rss_delta_bytes = -1;  ///< process RSS growth across attach + query
   /// One row per plan operator (preorder): the optimizer's estimated rows
   /// next to the measured rows — the per-operator drift table
   /// tools/compare_estimates.py renders.

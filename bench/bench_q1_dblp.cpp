@@ -15,7 +15,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include <unistd.h>
+
 #include "bench_common.h"
+#include "storage/persistent_store.h"
 
 namespace {
 
@@ -32,6 +35,77 @@ const char kQuery[] = R"(
       }
     </author>
 )";
+
+/// Current process RSS in bytes (/proc/self/statm; 0 off-Linux).
+int64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  int fields = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return static_cast<int64_t>(resident) *
+         static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+/// Experiment E1b-storage: cold text-parse vs warm attach of the persisted
+/// store on the DBLP corpus, plus what lazy page-in materializes for one
+/// outer-join run. Emits one mode="storage" record per corpus size.
+void RecordStorageBench(size_t publications, const std::string& dblp_text) {
+  using namespace nalq;
+  using Clock = std::chrono::steady_clock;
+
+  auto cold_start = Clock::now();
+  engine::Engine cold;
+  cold.AddDocument("dblp.xml", dblp_text);
+  cold.RegisterDtd("dblp.xml", datagen::kDblpDtd);
+  double cold_open =
+      std::chrono::duration<double>(Clock::now() - cold_start).count();
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("nalq-bench-store-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  cold.PersistStore(dir.string());
+
+  int64_t rss_before = CurrentRssBytes();
+  auto warm_start = Clock::now();
+  engine::Engine warm;
+  warm.AttachStore(dir.string());
+  double warm_open =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+  // One query over the attached store: documents page in lazily, so the
+  // residency charge (and the RSS growth) reflect what the run touched,
+  // not a whole-corpus materialization at open.
+  engine::RunResult run = warm.RunQuery(kQuery);
+
+  bench::BenchRecord r;
+  r.bench = "E1b";
+  r.plan = "storage";
+  r.size = std::to_string(publications);
+  r.mode = "storage";
+  r.path = "indexed";
+  r.seconds = warm_open;
+  r.stats = run.stats;
+  r.cold_open_s = cold_open;
+  r.warm_open_s = warm_open;
+  const auto* source =
+      dynamic_cast<const storage::PersistentStore*>(warm.store().source());
+  r.persisted_bytes =
+      source != nullptr ? static_cast<int64_t>(source->persisted_bytes()) : -1;
+  r.resident_bytes =
+      static_cast<int64_t>(warm.store().source()->resident_bytes());
+  r.rss_delta_bytes = CurrentRssBytes() - rss_before;
+  bench::RecordBench(r);
+  std::printf(
+      "storage at %zu publications: cold parse %.3f s, warm attach %.3f s, "
+      "persisted %.1f MB, resident after one query %.1f MB\n",
+      publications, cold_open, warm_open,
+      static_cast<double>(r.persisted_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(r.resident_bytes) / (1024.0 * 1024.0));
+  std::filesystem::remove_all(dir);
+}
 
 /// Auto-created spool directories currently in the system temp dir — the
 /// temp-file leak probe for the deadline smoke.
@@ -101,6 +175,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--deadline-smoke") == 0) {
       return RunDeadlineSmoke();
     }
+    if (std::strcmp(argv[i], "--storage-smoke") == 0) {
+      // CI's storage measurement: just the cold-parse vs warm-attach
+      // record on the 50k corpus, without the table runs.
+      datagen::DblpOptions options;
+      options.publications = 50000;
+      RecordStorageBench(options.publications,
+                         datagen::GenerateDblp(options));
+      bench::WriteBenchResults();
+      return 0;
+    }
   }
   bool full = bench::FullRuns(argc, argv);
   const std::vector<size_t> sizes = {1000, 10000, full ? 100000u : 50000u};
@@ -117,8 +201,14 @@ int main(int argc, char** argv) {
     engine::Engine engine;
     datagen::DblpOptions options;
     options.publications = size;
-    engine.AddDocument("dblp.xml", datagen::GenerateDblp(options));
+    std::string dblp_text = datagen::GenerateDblp(options);
+    engine.AddDocument("dblp.xml", dblp_text);
     engine.RegisterDtd("dblp.xml", datagen::kDblpDtd);
+    if (size == sizes.back()) {
+      // Cold-parse vs warm-attach comparison on the largest corpus (one
+      // mode="storage" record; see EXPERIMENTS.md).
+      RecordStorageBench(size, dblp_text);
+    }
     engine::CompiledQuery q = engine.Compile(kQuery);
     bench::RecordPlanEstimates(q, "E1b", std::to_string(size), &engine);
     if (q.Find("eqv5-grouping") != nullptr) {

@@ -8,6 +8,7 @@
 #include "nal/env_knobs.h"
 #include "nal/exchange.h"
 #include "nal/spool.h"
+#include "storage/persistent_store.h"
 #include "opt/cardinality.h"
 #include "opt/chooser.h"
 #include "opt/parallel.h"
@@ -36,9 +37,40 @@ void Engine::AddDocument(const std::string& name, std::string_view xml_text) {
 
 void Engine::RegisterDtd(const std::string& name, std::string_view dtd_text) {
   dtds_.Register(name, xml::Dtd::Parse(dtd_text));
+  // A persisted store carries each document's DTD as internal-subset text
+  // (storage::ManifestDoc::dtd) — an out-of-band registration must land on
+  // the stored document too, or Persist would silently drop it and a warm
+  // attach would translate without it.
+  if (std::optional<xml::DocId> id = store_.Find(name)) {
+    store_.document(*id).set_dtd_text(std::string(dtd_text));
+  }
   // DTDs feed translation (attribute typing), so compiled plans keyed on
   // the store version (the service's plan cache) must go stale too.
   store_.BumpVersion();
+}
+
+void Engine::AttachStore(const std::string& dir) {
+  storage::PersistentStore::Options opts;
+  opts.cache_limit_bytes = nal::EnvKnobU64("NALQ_STORE_CACHE_BYTES");
+  std::unique_ptr<storage::PersistentStore> source =
+      storage::PersistentStore::Open(dir, opts);
+  // Register persisted DTDs before attaching: translation needs them and
+  // must not fault whole documents in just to find their internal subsets.
+  for (size_t i = 0; i < source->document_count(); ++i) {
+    const std::string& dtd = source->document_dtd(i);
+    if (!dtd.empty()) {
+      dtds_.Register(source->document_name(i), xml::Dtd::Parse(dtd));
+    }
+  }
+  store_.AttachSource(std::move(source));  // bumps the store version
+}
+
+void Engine::PersistStore(const std::string& dir) const {
+  storage::Persist(store_, dir);
+}
+
+std::string Engine::EnvStoreDir() {
+  return nal::EnvKnobString("NALQ_STORE_DIR");
 }
 
 CompiledQuery Engine::Compile(std::string_view query_text, PlanChoice choice,

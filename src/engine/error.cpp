@@ -18,6 +18,12 @@ const char* ErrorCodeName(ErrorCode code) {
       return "kPlanError";
     case ErrorCode::kAdmissionRejected:
       return "kAdmissionRejected";
+    case ErrorCode::kStoreIo:
+      return "kStoreIo";
+    case ErrorCode::kStoreCorrupt:
+      return "kStoreCorrupt";
+    case ErrorCode::kStoreVersionMismatch:
+      return "kStoreVersionMismatch";
   }
   return "kUnknown";
 }

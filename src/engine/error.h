@@ -29,6 +29,10 @@ enum class ErrorCode {
   kPlanError,          ///< the physical layer cannot execute this plan shape
   kAdmissionRejected,  ///< the query service shed the submission (queue full
                        ///< or queue deadline) before it ever ran
+  kStoreIo,            ///< persistent-store file open/read/write/rename failed
+  kStoreCorrupt,       ///< persistent-store page/manifest failed validation
+                       ///< (checksum, truncation, structural replay mismatch)
+  kStoreVersionMismatch,  ///< persisted format version this build can't read
 };
 
 /// Stable identifier string ("kCancelled", ...) for logs and tests.

@@ -1,0 +1,85 @@
+// Length-prefixed binary codec primitives shared by the spool layer
+// (nal/spool.cpp — the Tuple/Value temp-file codec) and the persistent
+// store's page codec (src/storage/). Extracted from spool.cpp when the
+// storage layer extended the same framing to on-disk pages; both formats
+// are built from exactly these pieces, so a framing bug can only exist in
+// one place.
+//
+// Integers are encoded in the host's native byte order (both consumers are
+// process- or machine-local: spool files never outlive the process, store
+// directories never leave the machine that wrote them — the store manifest
+// additionally records an endianness tag and fails closed on a mismatch).
+#ifndef NALQ_NAL_CODEC_H_
+#define NALQ_NAL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nalq::nal::codec {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+/// Length-prefixed byte string (u32 frame).
+inline void PutBytes(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader over an encoded buffer. Every accessor
+/// returns false instead of reading past `end`, so a truncated or corrupt
+/// buffer can never become out-of-bounds access — the callers turn a false
+/// into their own structured error (spool: kSpoolIo; storage:
+/// kStoreCorrupt).
+struct ByteReader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  bool U8(uint8_t* v) {
+    if (end - p < 1) return false;
+    *v = *p++;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (end - p < 4) return false;
+    std::memcpy(v, p, 4);
+    p += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (end - p < 8) return false;
+    std::memcpy(v, p, 8);
+    p += 8;
+    return true;
+  }
+  bool Bytes(size_t n, const uint8_t** out) {
+    if (static_cast<size_t>(end - p) < n) return false;
+    *out = p;
+    p += n;
+    return true;
+  }
+  /// u32-framed byte string; the returned view aliases the buffer.
+  bool LengthPrefixed(std::string_view* out) {
+    uint32_t n;
+    const uint8_t* bytes;
+    if (!U32(&n) || !Bytes(n, &bytes)) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(bytes), n);
+    return true;
+  }
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+}  // namespace nalq::nal::codec
+
+#endif  // NALQ_NAL_CODEC_H_

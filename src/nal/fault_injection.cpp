@@ -21,6 +21,16 @@ const char* FaultSiteName(FaultSite site) {
       return "spool.read";
     case FaultSite::kSchedulerWorkerStart:
       return "scheduler.worker_start";
+    case FaultSite::kStoreOpenWrite:
+      return "store.open_write";
+    case FaultSite::kStoreWrite:
+      return "store.write";
+    case FaultSite::kStoreClose:
+      return "store.close";
+    case FaultSite::kStoreOpenRead:
+      return "store.open_read";
+    case FaultSite::kStoreRead:
+      return "store.read";
     case FaultSite::kSiteCount:
       break;
   }

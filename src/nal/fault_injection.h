@@ -14,6 +14,11 @@
 //   kSpoolOpenRead        SpoolFile::Reader: fopen("rb") reopen
 //   kSpoolRead            SpoolFile::Reader::Next: the record fread
 //   kSchedulerWorkerStart Scheduler::EnsureThreads: pool growth
+//   kStoreOpenWrite       storage::PageFileWriter: fopen of a store file
+//   kStoreWrite           storage::PageFileWriter: a page fwrite
+//   kStoreClose           storage::PageFileWriter: fclose / commit rename
+//   kStoreOpenRead        storage::MappedFile: open/mmap of a store file
+//   kStoreRead            storage page decode (per page-in)
 //
 // When disarmed (the default, and always in production) the hook is one
 // relaxed atomic load. Call counting only happens while armed, so "the Nth
@@ -50,6 +55,11 @@ enum class FaultSite : int {
   kSpoolOpenRead,
   kSpoolRead,
   kSchedulerWorkerStart,
+  kStoreOpenWrite,
+  kStoreWrite,
+  kStoreClose,
+  kStoreOpenRead,
+  kStoreRead,
   kSiteCount,  // sentinel
 };
 

@@ -20,6 +20,7 @@
 
 #include "engine/error.h"
 #include "nal/analysis.h"
+#include "nal/codec.h"
 #include "nal/env_knobs.h"
 #include "nal/fault_injection.h"
 #include "nal/physical.h"
@@ -100,11 +101,11 @@ size_t GracePartitionCount(uint64_t budget_limit_bytes,
 
 namespace {
 
-void PutU32(std::string* out, uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  out->append(b, 4);
-}
+// Framing primitives shared with the storage layer's page codec
+// (nal/codec.h; extracted from here when src/storage/ landed).
+using codec::ByteReader;
+using codec::PutU32;
+using codec::PutU64;
 
 /// All codec counts/lengths are u32-framed; anything larger must fail
 /// loudly instead of wrapping the length prefix and corrupting the spool.
@@ -117,41 +118,6 @@ uint32_t CheckedU32(size_t n) {
   }
   return static_cast<uint32_t>(n);
 }
-
-void PutU64(std::string* out, uint64_t v) {
-  char b[8];
-  std::memcpy(b, &v, 8);
-  out->append(b, 8);
-}
-
-struct ByteReader {
-  const uint8_t* p;
-  const uint8_t* end;
-
-  bool U8(uint8_t* v) {
-    if (end - p < 1) return false;
-    *v = *p++;
-    return true;
-  }
-  bool U32(uint32_t* v) {
-    if (end - p < 4) return false;
-    std::memcpy(v, p, 4);
-    p += 4;
-    return true;
-  }
-  bool U64(uint64_t* v) {
-    if (end - p < 8) return false;
-    std::memcpy(v, p, 8);
-    p += 8;
-    return true;
-  }
-  bool Bytes(size_t n, const uint8_t** out) {
-    if (static_cast<size_t>(end - p) < n) return false;
-    *out = p;
-    p += n;
-    return true;
-  }
-};
 
 [[noreturn]] void CorruptSpool() {
   throw engine::Error(engine::ErrorCode::kSpoolIo,

@@ -73,6 +73,17 @@ QueryService::QueryService(engine::Engine& engine, ServiceOptions options)
                             options_.trace_dir + "\" (not a usable directory)",
                         0, options_.trace_dir, "query_service");
   }
+  if (options_.store_dir.empty()) {
+    options_.store_dir = engine::Engine::EnvStoreDir();
+  }
+  if (!options_.store_dir.empty() && engine_.store().size() == 0) {
+    // Warm attach (cold start = the caller loading documents itself): the
+    // persisted store backs the engine's store lazily, so the service is
+    // queryable without re-parsing or materializing the corpus. Fails
+    // closed here — a service configured against an unusable store should
+    // not come up.
+    engine_.AttachStore(options_.store_dir);
+  }
   if (options_.slow_query_ms != 0) {
     if (options_.slow_query_log_path.empty()) {
       options_.slow_query_log_path =

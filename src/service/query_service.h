@@ -115,6 +115,15 @@ struct ServiceOptions {
   uint64_t default_deadline_ms = 0;
   /// Plan-cache capacity in entries; 0 disables caching.
   size_t plan_cache_capacity = 64;
+  /// Persisted store directory to warm-attach at construction
+  /// (Engine::AttachStore: documents page in lazily instead of being
+  /// re-parsed from text; see src/storage/README.md). Only applied when
+  /// the engine's store is still empty — an engine already holding
+  /// documents keeps them. Empty -> NALQ_STORE_DIR -> no attach. A
+  /// missing, corrupt or foreign-version store fails construction with
+  /// the structured store error (kStoreIo / kStoreCorrupt /
+  /// kStoreVersionMismatch) — fail closed at startup, not at first query.
+  std::string store_dir;
 
   // ---- observability (src/obs/) ------------------------------------------
   /// Queries whose end-to-end latency (queue wait + run) reaches this many

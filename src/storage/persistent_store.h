@@ -1,0 +1,174 @@
+// Persistent on-disk document store: Persist() serializes a Store's
+// documents, structural indexes and cardinality statistics into a
+// directory; PersistentStore::Open attaches that directory back to a Store
+// as a lazy DocumentSource (xml/document_source.h) so documents page in on
+// first access instead of being re-parsed from text.
+//
+// Directory layout (all files in the page format of storage/format.h):
+//
+//   MANIFEST.nalq        commit point — names every live file
+//   e<E>_doc_<i>.nalq    document i: name-table + preorder node pages
+//   e<E>_idx_<i>.nalq    document i: serialized DocumentIndex (blob pages)
+//   e<E>_sts_<i>.nalq    document i: serialized DocumentStats (blob pages)
+//
+// Atomicity (single-writer contract — one Persist at a time, never
+// concurrent with readers of the same directory): every Persist writes a
+// fresh epoch's data files alongside the old ones, then atomically renames
+// a complete new manifest over MANIFEST.nalq. A crash or injected fault
+// anywhere before the rename leaves the old manifest and the old epoch's
+// files untouched — the store reopens at its previous contents; only after
+// the rename are stale epochs deleted (tests/storage_test.cpp drives the
+// torn-write paths through the store.* fault sites).
+//
+// Reconstruction determinism (what makes lazy eviction safe, see
+// document_source.h): a document is persisted as its interner's string
+// table plus one record per node in preorder — exactly the depth-first
+// construction order — and decoded by replaying those records through
+// Document::AddElement/AddText/AddAttribute after pre-interning the string
+// table. Replay therefore reproduces the original node vector and interned
+// name ids field for field; DecodeDocument validates every reconstructed
+// node against its persisted record (kind, parent, name id, subtree extent)
+// and fails closed with kStoreCorrupt on any mismatch.
+#ifndef NALQ_STORAGE_PERSISTENT_STORE_H_
+#define NALQ_STORAGE_PERSISTENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nal/spool.h"
+#include "storage/format.h"
+#include "xml/document_source.h"
+#include "xml/index.h"
+#include "xml/node.h"
+#include "xml/stats.h"
+#include "xml/store.h"
+
+namespace nalq::storage {
+
+/// One document's manifest entry.
+struct ManifestDoc {
+  std::string name;
+  std::string dtd;           ///< DOCTYPE internal subset, may be empty
+  uint64_t node_count = 0;   ///< validates the decoded document
+  uint64_t approx_bytes = 0; ///< in-memory footprint charged when resident
+  std::string doc_file;
+  std::string idx_file;
+  std::string sts_file;
+};
+
+struct Manifest {
+  uint64_t epoch = 0;
+  std::vector<ManifestDoc> docs;
+};
+
+/// Codec between the xml layer's in-memory structures and store pages.
+/// Befriended by DocumentIndex and DocumentStats so their count maps
+/// serialize directly instead of being rebuilt from the document.
+class StoreCodec {
+ public:
+  /// Writes `doc` as name-table + node-record pages into `out`.
+  static void EncodeDocument(const xml::Document& doc, PageFileWriter* out);
+
+  /// Reads, replays and validates a document file. Throws kStoreIo /
+  /// kStoreCorrupt / kStoreVersionMismatch.
+  static xml::Document DecodeDocument(const ManifestDoc& meta,
+                                      const std::string& path);
+
+  static std::string EncodeIndex(const xml::DocumentIndex& index);
+  /// Null on malformed input (the caller attaches path context).
+  static std::unique_ptr<xml::DocumentIndex> DecodeIndex(
+      std::string_view blob);
+
+  static std::string EncodeStats(const xml::DocumentStats& stats);
+  static std::unique_ptr<xml::DocumentStats> DecodeStats(
+      std::string_view blob);
+
+  /// Footprint estimate charged against the residency budget while the
+  /// document is materialized: node vector + texts + interner strings +
+  /// string-value memo slots.
+  static uint64_t ApproxResidentBytes(const xml::Document& doc);
+};
+
+/// Serializes every document of `store` (faulting lazily attached ones in
+/// as needed), its structural index and its statistics into `dir`,
+/// creating the directory if needed. Reads `store` under a StoreReadLease;
+/// the caller must not mutate the store concurrently. Throws engine::Error
+/// on any I/O failure, leaving the directory's previous contents openable.
+void Persist(const xml::Store& store, const std::string& dir);
+
+/// An opened persisted store directory: validates the manifest and every
+/// referenced file header up front (cold-start fail-closed), then serves
+/// documents, indexes and statistics on demand as a DocumentSource.
+class PersistentStore : public xml::DocumentSource {
+ public:
+  struct Options {
+    /// Residency target the owning Store evicts down to at lease
+    /// boundaries; 0 = keep everything resident once faulted.
+    uint64_t cache_limit_bytes = 0;
+  };
+
+  /// Throws kStoreIo (missing/unreadable files), kStoreVersionMismatch
+  /// (foreign format generation or endianness) or kStoreCorrupt (failed
+  /// validation).
+  static std::unique_ptr<PersistentStore> Open(const std::string& dir,
+                                               const Options& opts);
+  static std::unique_ptr<PersistentStore> Open(const std::string& dir) {
+    return Open(dir, Options{});
+  }
+
+  const std::string& dir() const { return dir_; }
+  uint64_t epoch() const { return manifest_.epoch; }
+
+  /// Total persisted payload bytes across all store files (bench metric).
+  uint64_t persisted_bytes() const { return persisted_bytes_; }
+
+  // -- DocumentSource -------------------------------------------------------
+  size_t document_count() const override { return manifest_.docs.size(); }
+  const std::string& document_name(size_t i) const override {
+    return manifest_.docs[i].name;
+  }
+  const std::string& document_dtd(size_t i) const override {
+    return manifest_.docs[i].dtd;
+  }
+  xml::Document LoadDocument(size_t i) override;
+  void UnloadDocument(size_t i) override;
+  std::unique_ptr<xml::DocumentIndex> LoadIndex(
+      size_t i, const xml::Document& doc) override;
+  std::unique_ptr<xml::DocumentStats> LoadStats(
+      size_t i, const xml::Document& doc) override;
+  uint64_t resident_bytes() const override {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_limit_bytes() const override {
+    return budget_.limit_bytes();
+  }
+
+ private:
+  PersistentStore(std::string dir, Manifest manifest, const Options& opts);
+
+  /// Concatenated blob-page payload of `file` (kIndex/kStats files).
+  std::string ReadBlobFile(const std::string& file, FileKind kind) const;
+
+  std::string dir_;
+  Manifest manifest_;
+  uint64_t persisted_bytes_ = 0;
+  /// Residency accountant (nal/spool.h): LoadDocument charges each
+  /// document's approx_bytes — TryCharge first, ChargeUnchecked as the
+  /// progress guarantee when the cache is already full (the faulting
+  /// evaluation must be able to proceed; the owning Store evicts back
+  /// under the limit at the next reader-free lease boundary).
+  nal::MemoryBudget budget_;
+  /// Residency bytes tracked independently of the budget: an unlimited
+  /// MemoryBudget (limit 0) deliberately skips its accounting, but
+  /// resident_bytes() must still report what lazy page-in materialized
+  /// (eviction decisions and the bench's page-in metric both read it).
+  std::atomic<uint64_t> resident_bytes_{0};
+  std::vector<uint64_t> charged_;
+};
+
+}  // namespace nalq::storage
+
+#endif  // NALQ_STORAGE_PERSISTENT_STORE_H_

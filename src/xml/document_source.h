@@ -1,0 +1,81 @@
+// Lazy document provider behind xml::Store — the seam that lets the
+// persistent on-disk store (src/storage/) back a Store without the xml
+// layer depending on the storage layer.
+//
+// A Store with an attached source registers one slot per source document
+// but materializes nothing: the first access to a document faults it in
+// through LoadDocument, and the Store may evict resident documents again
+// at reader-free lease boundaries when the source reports residency above
+// its cache limit (see Store::PrepareForRead). The contract that makes
+// eviction safe is reconstruction determinism: LoadDocument(i) must
+// rebuild a Document that is field-for-field identical to every earlier
+// load — same node records, same interned name ids — so structural
+// indexes and statistics built against one incarnation stay valid for the
+// next (the storage layer guarantees this by replaying persisted preorder
+// node records through the depth-first construction API and validating
+// the result; see src/storage/README.md).
+//
+// Thread-safety: the Store serializes all calls on one source behind its
+// fault-in mutex, so implementations need no internal locking for the
+// Load/Unload paths; the residency accessors must tolerate concurrent
+// readers (an atomic counter suffices).
+#ifndef NALQ_XML_DOCUMENT_SOURCE_H_
+#define NALQ_XML_DOCUMENT_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/index.h"
+#include "xml/node.h"
+#include "xml/stats.h"
+
+namespace nalq::xml {
+
+class DocumentSource {
+ public:
+  virtual ~DocumentSource() = default;
+
+  /// Number of documents this source provides. Fixed for the source's
+  /// lifetime (a persisted store is immutable once opened).
+  virtual size_t document_count() const = 0;
+
+  /// Name document `i` is registered under (doc() resolution).
+  virtual const std::string& document_name(size_t i) const = 0;
+
+  /// DOCTYPE internal subset persisted with document `i`, or empty.
+  /// Available without faulting the document in — the engine registers
+  /// DTDs at attach time, before any query touches the store.
+  virtual const std::string& document_dtd(size_t i) const = 0;
+
+  /// Materializes document `i`, charging its footprint against the
+  /// source's residency accounting. Throws engine::Error (kStoreIo /
+  /// kStoreCorrupt / kStoreVersionMismatch) — the Store propagates it to
+  /// the evaluation that triggered the fault-in.
+  virtual Document LoadDocument(size_t i) = 0;
+
+  /// Releases the residency accounting of an evicted document `i`.
+  virtual void UnloadDocument(size_t i) = 0;
+
+  /// Prebuilt structural index for document `i`, or null when the source
+  /// has none persisted (the Store then builds one from `doc`). A
+  /// persisted index whose built_node_count does not match `doc` fails
+  /// closed (kStoreCorrupt) instead of returning.
+  virtual std::unique_ptr<DocumentIndex> LoadIndex(size_t i,
+                                                   const Document& doc) = 0;
+
+  /// Prebuilt cardinality statistics, same contract as LoadIndex.
+  virtual std::unique_ptr<DocumentStats> LoadStats(size_t i,
+                                                   const Document& doc) = 0;
+
+  /// Bytes currently charged for resident documents.
+  virtual uint64_t resident_bytes() const = 0;
+
+  /// Residency target the Store evicts down to at lease boundaries;
+  /// 0 = unlimited (no eviction).
+  virtual uint64_t cache_limit_bytes() const = 0;
+};
+
+}  // namespace nalq::xml
+
+#endif  // NALQ_XML_DOCUMENT_SOURCE_H_

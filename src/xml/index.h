@@ -21,6 +21,10 @@
 
 #include "xml/node.h"
 
+namespace nalq::storage {
+class StoreCodec;
+}
+
 namespace nalq::xml {
 
 class DocumentIndex {
@@ -44,6 +48,12 @@ class DocumentIndex {
   size_t built_node_count() const { return built_node_count_; }
 
  private:
+  /// Persistence codec (src/storage/): serializes and reconstructs the
+  /// occurrence lists directly, bypassing the build pass. The deserializing
+  /// path is the only user of the default constructor.
+  friend class nalq::storage::StoreCodec;
+  DocumentIndex() = default;
+
   std::unordered_map<uint32_t, std::vector<NodeId>> elements_;
   std::unordered_map<uint32_t, std::vector<NodeId>> attributes_;
   std::vector<NodeId> all_elements_;

@@ -22,6 +22,10 @@
 #include "xml/index.h"
 #include "xml/node.h"
 
+namespace nalq::storage {
+class StoreCodec;
+}
+
 namespace nalq::xml {
 
 class DocumentStats {
@@ -72,6 +76,12 @@ class DocumentStats {
   size_t built_node_count() const { return built_node_count_; }
 
  private:
+  /// Persistence codec (src/storage/): serializes and reconstructs the
+  /// count maps directly, bypassing the build pass. The deserializing path
+  /// is the only user of the default constructor.
+  friend class nalq::storage::StoreCodec;
+  DocumentStats() = default;
+
   static uint64_t PairKey(uint32_t a, uint32_t b) {
     return (static_cast<uint64_t>(a) << 32) | b;
   }

@@ -1,23 +1,44 @@
 #include "xml/store.h"
 
 #include <cassert>
+#include <utility>
 
 #include "xml/parser.h"
 
 namespace nalq::xml {
 
-DocId AddDocumentImpl(std::vector<std::unique_ptr<Document>>* documents,
-                      std::unordered_map<std::string, DocId>* by_name,
-                      Document doc) {
-  const std::string name = doc.name();  // copied: doc is moved away below
-  auto it = by_name->find(name);
-  if (it != by_name->end()) {
-    (*documents)[it->second] = std::make_unique<Document>(std::move(doc));
-    return it->second;
+DocId Store::UpsertSlot(const std::string& name) {
+  DocId id;
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<DocId>(docs_.size());
+    docs_.push_back(std::make_unique<DocSlot>());
+    docs_[id]->name = name;
+    by_name_.emplace(name, id);
   }
-  DocId id = static_cast<DocId>(documents->size());
-  documents->push_back(std::make_unique<Document>(std::move(doc)));
-  by_name->emplace(name, id);
+  // Invalidate the structural index: the slot either belongs to the replaced
+  // document or is fresh. Rebuilt lazily by index().
+  if (indexes_.size() <= id) {
+    indexes_.reserve(docs_.size());
+    while (indexes_.size() <= id) {
+      indexes_.push_back(std::make_unique<IndexSlot>());
+    }
+  }
+  indexes_[id]->ready.store(nullptr, std::memory_order_release);
+  indexes_[id]->index.reset();
+  indexes_[id]->retired.clear();  // writer-exclusive: no reader holds them
+  // Statistics (xml/stats.h) share the index's lifecycle.
+  if (stats_.size() <= id) {
+    stats_.reserve(docs_.size());
+    while (stats_.size() <= id) {
+      stats_.push_back(std::make_unique<StatsSlot>());
+    }
+  }
+  stats_[id]->ready.store(nullptr, std::memory_order_release);
+  stats_[id]->stats.reset();
+  stats_[id]->retired.clear();
   return id;
 }
 
@@ -28,33 +49,81 @@ DocId Store::AddDocument(Document doc) {
   assert(open_readers() == 0 &&
          "Store::AddDocument while cursors are open: loading and evaluation "
          "must not overlap (see single-writer contract in xml/store.h)");
-  DocId id = AddDocumentImpl(&documents_, &by_name_, std::move(doc));
+  DocId id = UpsertSlot(doc.name());
+  DocSlot& slot = *docs_[id];
+  // An eagerly added document detaches the slot from any lazy source: the
+  // in-memory content wins and must never be evicted back to disk state.
+  slot.ready.store(nullptr, std::memory_order_release);
+  slot.doc = std::make_unique<Document>(std::move(doc));
+  slot.lazy = false;
+  slot.pinned = true;
   // Pre-size the string-value memo while we are still writer-exclusive, so
   // parallel readers never race a lazy grow (xml/node.h).
-  documents_[id]->PrepareSharedReads();
-  // Invalidate the structural index: the slot either belongs to the replaced
-  // document or is fresh. Rebuilt lazily by index().
-  if (indexes_.size() <= id) {
-    indexes_.reserve(documents_.size());
-    while (indexes_.size() <= id) {
-      indexes_.push_back(std::make_unique<IndexSlot>());
-    }
-  }
-  indexes_[id]->ready.store(nullptr, std::memory_order_release);
-  indexes_[id]->index.reset();
-  indexes_[id]->retired.clear();  // writer-exclusive: no reader holds them
-  // Statistics (xml/stats.h) share the index's lifecycle.
-  if (stats_.size() <= id) {
-    stats_.reserve(documents_.size());
-    while (stats_.size() <= id) {
-      stats_.push_back(std::make_unique<StatsSlot>());
-    }
-  }
-  stats_[id]->ready.store(nullptr, std::memory_order_release);
-  stats_[id]->stats.reset();
-  stats_[id]->retired.clear();
+  slot.doc->PrepareSharedReads();
+  slot.ready.store(slot.doc.get(), std::memory_order_release);
   BumpVersion();
   return id;
+}
+
+void Store::AttachSource(std::unique_ptr<DocumentSource> source) {
+  assert(open_readers() == 0 &&
+         "Store::AttachSource while cursors are open: loading and evaluation "
+         "must not overlap (see single-writer contract in xml/store.h)");
+  assert(source_ == nullptr && "a Store holds at most one DocumentSource");
+  source_ = std::move(source);
+  for (size_t i = 0; i < source_->document_count(); ++i) {
+    DocId id = UpsertSlot(source_->document_name(i));
+    DocSlot& slot = *docs_[id];
+    slot.ready.store(nullptr, std::memory_order_release);
+    slot.doc.reset();
+    slot.lazy = true;
+    slot.pinned = false;
+    slot.source_index = i;
+  }
+  BumpVersion();
+}
+
+const Document& Store::FaultIn(DocId id) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  DocSlot& slot = *docs_[id];
+  const Document* doc = slot.ready.load(std::memory_order_acquire);
+  if (doc != nullptr) return *doc;  // lost the race: already resident
+  assert(slot.lazy && source_ != nullptr &&
+         "non-resident document without a source to fault it in from");
+  auto loaded =
+      std::make_unique<Document>(source_->LoadDocument(slot.source_index));
+  // Pre-size the string-value memo before publication so concurrent
+  // readers of the freshly faulted document never race a lazy grow.
+  loaded->PrepareSharedReads();
+  slot.doc = std::move(loaded);
+  slot.last_fault = ++fault_clock_;
+  slot.ready.store(slot.doc.get(), std::memory_order_release);
+  return *slot.doc;
+}
+
+void Store::EvictOverLimit() const {
+  const uint64_t limit = source_->cache_limit_bytes();
+  if (limit == 0) return;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  while (source_->resident_bytes() > limit) {
+    DocSlot* victim = nullptr;
+    for (const auto& slot : docs_) {
+      if (!slot->lazy || slot->pinned) continue;
+      if (slot->ready.load(std::memory_order_acquire) == nullptr) continue;
+      if (victim == nullptr || slot->last_fault < victim->last_fault) {
+        victim = slot.get();
+      }
+    }
+    if (victim == nullptr) break;  // everything left is pinned or gone
+    // Reader-free by contract (caller checked), so the document can be
+    // freed outright — no retirement needed. The index and statistics
+    // slots stay published: reconstruction determinism (document_source.h)
+    // keeps them valid for the refaulted incarnation, and version() is
+    // deliberately not bumped (content unchanged, cached plans stay good).
+    victim->ready.store(nullptr, std::memory_order_release);
+    victim->doc.reset();
+    source_->UnloadDocument(victim->source_index);
+  }
 }
 
 void Store::PrepareForRead() const {
@@ -63,40 +132,47 @@ void Store::PrepareForRead() const {
   // unchanged since their own lease (mutation asserts reader-free), so
   // everything below is a no-op for their state — sizes already match,
   // no slot tests stale, nothing to reclaim — and never disturbs their
-  // lock-free read paths.
-  std::lock_guard<std::mutex> lock(index_build_mu_);
-  for (DocId id = 0; id < documents_.size(); ++id) {
-    documents_[id]->PrepareSharedReads();
-    if (id >= indexes_.size()) continue;
-    IndexSlot& slot = *indexes_[id];
-    const DocumentIndex* ready = slot.ready.load(std::memory_order_acquire);
-    if (ready != nullptr &&
-        ready->built_node_count() != documents_[id]->node_count()) {
-      // Mutated since the build: drop the stale index now, while no new
-      // reader has started, so index() below only ever performs
-      // null → build-once transitions during evaluation.
-      slot.ready.store(nullptr, std::memory_order_release);
-      slot.retired.push_back(std::move(slot.index));
+  // lock-free read paths. Non-resident documents are skipped throughout:
+  // they cannot be stale (eviction requires an unmutated, unpinned slot)
+  // and faulting them in just to check would defeat lazy residency.
+  {
+    std::lock_guard<std::mutex> lock(index_build_mu_);
+    for (DocId id = 0; id < docs_.size(); ++id) {
+      const Document* doc = docs_[id]->ready.load(std::memory_order_acquire);
+      if (doc != nullptr) doc->PrepareSharedReads();
+      if (id >= indexes_.size()) continue;
+      IndexSlot& slot = *indexes_[id];
+      const DocumentIndex* ready = slot.ready.load(std::memory_order_acquire);
+      if (doc != nullptr && ready != nullptr &&
+          ready->built_node_count() != doc->node_count()) {
+        // Mutated since the build: drop the stale index now, while no new
+        // reader has started, so index() below only ever performs
+        // null → build-once transitions during evaluation.
+        slot.ready.store(nullptr, std::memory_order_release);
+        slot.retired.push_back(std::move(slot.index));
+      }
+      if (open_readers() == 0) slot.retired.clear();
     }
-    if (open_readers() == 0) slot.retired.clear();
-  }
-  std::lock_guard<std::mutex> stats_lock(stats_build_mu_);
-  for (DocId id = 0; id < documents_.size() && id < stats_.size(); ++id) {
-    StatsSlot& slot = *stats_[id];
-    const DocumentStats* ready = slot.ready.load(std::memory_order_acquire);
-    if (ready != nullptr &&
-        ready->built_node_count() != documents_[id]->node_count()) {
-      slot.ready.store(nullptr, std::memory_order_release);
-      slot.retired.push_back(std::move(slot.stats));
+    std::lock_guard<std::mutex> stats_lock(stats_build_mu_);
+    for (DocId id = 0; id < docs_.size() && id < stats_.size(); ++id) {
+      const Document* doc = docs_[id]->ready.load(std::memory_order_acquire);
+      StatsSlot& slot = *stats_[id];
+      const DocumentStats* ready = slot.ready.load(std::memory_order_acquire);
+      if (doc != nullptr && ready != nullptr &&
+          ready->built_node_count() != doc->node_count()) {
+        slot.ready.store(nullptr, std::memory_order_release);
+        slot.retired.push_back(std::move(slot.stats));
+      }
+      if (open_readers() == 0) slot.retired.clear();
     }
-    if (open_readers() == 0) slot.retired.clear();
   }
+  if (source_ != nullptr && open_readers() == 0) EvictOverLimit();
 }
 
 const DocumentIndex& Store::index(DocId id) const {
   assert(id < indexes_.size());
   IndexSlot& slot = *indexes_[id];
-  const Document& doc = *documents_[id];
+  const Document& doc = document(id);  // faults in if lazily attached
   // Hot path: one acquire-load. The node-count check catches a document
   // mutated in place after the build (grown via the non-const accessor);
   // under the single-writer contract every reader of the mutated document
@@ -114,7 +190,15 @@ const DocumentIndex& Store::index(DocId id) const {
     // evaluation (PrepareForRead dropped stale slots at the boundary), so
     // retirement is a safety net for leaseless single-threaded use.
     if (slot.index != nullptr) slot.retired.push_back(std::move(slot.index));
-    slot.index = std::make_unique<DocumentIndex>(doc);
+    // A persisted index beats an O(n) build. Only unpinned lazy slots
+    // qualify — a pinned slot may have been mutated since persist.
+    std::unique_ptr<DocumentIndex> loaded;
+    const DocSlot& dslot = *docs_[id];
+    if (source_ != nullptr && dslot.lazy && !dslot.pinned) {
+      loaded = source_->LoadIndex(dslot.source_index, doc);
+    }
+    slot.index = loaded != nullptr ? std::move(loaded)
+                                   : std::make_unique<DocumentIndex>(doc);
     ready = slot.index.get();
     slot.ready.store(ready, std::memory_order_release);
   }
@@ -124,7 +208,7 @@ const DocumentIndex& Store::index(DocId id) const {
 const DocumentStats& Store::stats(DocId id) const {
   assert(id < stats_.size());
   StatsSlot& slot = *stats_[id];
-  const Document& doc = *documents_[id];
+  const Document& doc = document(id);  // faults in if lazily attached
   const DocumentStats* ready = slot.ready.load(std::memory_order_acquire);
   if (ready != nullptr && ready->built_node_count() == doc.node_count()) {
     return *ready;
@@ -137,7 +221,13 @@ const DocumentStats& Store::stats(DocId id) const {
   ready = slot.ready.load(std::memory_order_acquire);
   if (ready == nullptr || ready->built_node_count() != doc.node_count()) {
     if (slot.stats != nullptr) slot.retired.push_back(std::move(slot.stats));
-    slot.stats = std::make_unique<DocumentStats>(doc, idx);
+    std::unique_ptr<DocumentStats> loaded;
+    const DocSlot& dslot = *docs_[id];
+    if (source_ != nullptr && dslot.lazy && !dslot.pinned) {
+      loaded = source_->LoadStats(dslot.source_index, doc);
+    }
+    slot.stats = loaded != nullptr ? std::move(loaded)
+                                   : std::make_unique<DocumentStats>(doc, idx);
     ready = slot.stats.get();
     slot.ready.store(ready, std::memory_order_release);
   }

@@ -3,9 +3,9 @@
 //
 // Concurrency contract (single writer, many readers): loading or mutating
 // documents and evaluating queries never overlap. AddDocument /
-// AddDocumentText / in-place mutation through the non-const document()
-// accessor may only run while no evaluation is in flight; during an
-// evaluation any number of threads (the parallel executor's workers,
+// AddDocumentText / AttachSource / in-place mutation through the non-const
+// document() accessor may only run while no evaluation is in flight; during
+// an evaluation any number of threads (the parallel executor's workers,
 // nal/exchange.h) may read documents and indexes concurrently. Readers
 // announce themselves through BeginRead/EndRead — every evaluation entry
 // point holds a StoreReadLease for the duration of the run (Evaluator::Eval,
@@ -17,9 +17,19 @@
 // Stale-state repair (a document mutated in place since its index or
 // string-value memo was built) happens at the lease boundary, where the
 // contract guarantees writer-exclusivity relative to *new* readers: the
-// lease pre-sizes every document's string-value memo and drops stale index
-// slots, so during evaluation the lock-free read paths only ever observe
-// null→published transitions, never frees or relocations.
+// lease pre-sizes every resident document's string-value memo and drops
+// stale index slots, so during evaluation the lock-free read paths only
+// ever observe null→published transitions, never frees or relocations.
+//
+// Lazy residency (persistent stores, src/storage/): a Store may be backed
+// by a DocumentSource (xml/document_source.h). Attached documents start
+// non-resident and fault in on first access — node reads, indexed XPath
+// and the stats-backed optimizer all work without materializing the whole
+// corpus — and are evicted back out at reader-free lease boundaries when
+// the source's residency exceeds its cache limit. Eviction never bumps
+// version(): the source's reconstruction-determinism contract means a
+// refault rebuilds a field-for-field identical document, so indexes,
+// statistics and compiled plans stay valid across it.
 #ifndef NALQ_XML_STORE_H_
 #define NALQ_XML_STORE_H_
 
@@ -32,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "xml/document_source.h"
 #include "xml/index.h"
 #include "xml/node.h"
 #include "xml/stats.h"
@@ -48,22 +59,56 @@ class Store {
 
   /// Adds (or replaces) a document under its own name. Returns its id.
   /// Writer-side of the single-writer contract: must not run while any
-  /// reader is registered (Debug builds assert).
+  /// reader is registered (Debug builds assert). Replacing a lazily
+  /// attached document detaches that slot from the source — the in-memory
+  /// document wins from then on and is never evicted.
   DocId AddDocument(Document doc);
 
   /// Parses `xml_text` and adds it under `name`.
   DocId AddDocumentText(std::string name, std::string_view xml_text);
 
+  /// Attaches a lazy document source (a persisted store): registers one
+  /// slot per source document without materializing any of them. Writer
+  /// side of the single-writer contract. A source document whose name
+  /// collides with an existing document replaces it. At most one source
+  /// may be attached per Store.
+  void AttachSource(std::unique_ptr<DocumentSource> source);
+
+  /// The attached source, or null.
+  const DocumentSource* source() const { return source_.get(); }
+
   /// Looks a document up by name.
   std::optional<DocId> Find(std::string_view name) const;
 
-  const Document& document(DocId id) const { return *documents_[id]; }
-  Document& document(DocId id) { return *documents_[id]; }
-  size_t size() const { return documents_.size(); }
+  /// Document access. Resident documents are one acquire-load; a
+  /// non-resident (lazily attached) document faults in through the source
+  /// first, which may throw engine::Error on a corrupt or unreadable
+  /// persisted store. The non-const form pins the document resident (an
+  /// in-place mutation could not survive eviction).
+  const Document& document(DocId id) const {
+    const Document* doc = docs_[id]->ready.load(std::memory_order_acquire);
+    return doc != nullptr ? *doc : FaultIn(id);
+  }
+  Document& document(DocId id) {
+    DocSlot& slot = *docs_[id];
+    if (slot.ready.load(std::memory_order_acquire) == nullptr) FaultIn(id);
+    slot.pinned = true;
+    return *slot.doc;
+  }
+  size_t size() const { return docs_.size(); }
+
+  /// Name document `id` is registered under (available without faulting
+  /// the document in).
+  const std::string& document_name(DocId id) const { return docs_[id]->name; }
+
+  /// True iff `id` is currently materialized in memory.
+  bool resident(DocId id) const {
+    return docs_[id]->ready.load(std::memory_order_acquire) != nullptr;
+  }
 
   /// Resolves a NodeRef to its document.
   const Document& doc_of(const NodeRef& ref) const {
-    return *documents_[ref.doc];
+    return document(ref.doc);
   }
 
   /// The document's structural index (xml/index.h), built lazily on first
@@ -76,6 +121,8 @@ class Store {
   /// reader that loaded the old pointer just before the rebuild still
   /// dereferences live memory; retired indexes are reclaimed by the next
   /// writer (AddDocument) or lease boundary, both reader-free by contract.
+  /// For lazily attached documents the cold path first asks the source for
+  /// a persisted index and only falls back to building one.
   const DocumentIndex& index(DocId id) const;
 
   /// The document's cardinality statistics (xml/stats.h), built lazily on
@@ -84,13 +131,17 @@ class Store {
   /// a stale build (document mutated afterwards) is rebuilt here, the built
   /// statistics are published through an atomic pointer and cold builds are
   /// serialized by a build mutex. Building statistics forces the index
-  /// build first (the value scans walk the occurrence lists).
+  /// build first (the value scans walk the occurrence lists). Lazily
+  /// attached documents load persisted statistics when the source has them.
   const DocumentStats& stats(DocId id) const;
 
   /// Lease-boundary stale repair (see the file comment): pre-sizes every
-  /// document's string-value memo, drops stale index slots and reclaims
-  /// retired indexes. Called by StoreReadLease; must not run concurrently
-  /// with document mutation (single-writer contract).
+  /// resident document's string-value memo, drops stale index slots,
+  /// reclaims retired indexes, and — when a source is attached, no reader
+  /// is open and residency exceeds the source's cache limit — evicts
+  /// resident unpinned documents in fault-in order until it fits. Called
+  /// by StoreReadLease; must not run concurrently with document mutation
+  /// (single-writer contract).
   void PrepareForRead() const;
 
   /// Reader registration for the single-writer contract (see file comment).
@@ -108,18 +159,38 @@ class Store {
     return open_readers_.load(std::memory_order_relaxed);
   }
 
-  /// Monotonic content version: bumped by every AddDocument (and by
-  /// BumpVersion for out-of-store changes that affect compilation, e.g. a
-  /// DTD registration — Engine::RegisterDtd calls it). Anything derived
-  /// from store contents or statistics — the query service's plan cache in
-  /// particular — keys on this and treats a mismatch as stale. Writes ride
-  /// the single-writer contract; reads are a relaxed load.
+  /// Monotonic content version: bumped by every AddDocument and
+  /// AttachSource (and by BumpVersion for out-of-store changes that affect
+  /// compilation, e.g. a DTD registration — Engine::RegisterDtd calls it).
+  /// Anything derived from store contents or statistics — the query
+  /// service's plan cache in particular — keys on this and treats a
+  /// mismatch as stale. Eviction and refault of a lazily attached document
+  /// deliberately do NOT bump it: content is unchanged, so cached plans
+  /// stay valid. Writes ride the single-writer contract; reads are a
+  /// relaxed load.
   uint64_t version() const {
     return version_.load(std::memory_order_relaxed);
   }
   void BumpVersion() { version_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
+  /// One document slot. `ready` publishes the resident document to readers
+  /// (acquire-load hot path); `doc` owns it. Lazily attached slots start
+  /// with `ready == nullptr` and fault in through the source; eviction
+  /// (only ever at reader-free lease boundaries) resets `ready` and frees
+  /// `doc`. `pinned` marks documents that must stay resident: everything
+  /// added eagerly through AddDocument, and any attached document handed
+  /// out mutably.
+  struct DocSlot {
+    std::string name;
+    std::unique_ptr<Document> doc;
+    std::atomic<const Document*> ready{nullptr};
+    bool lazy = false;         ///< backed by source_ (source_index valid)
+    bool pinned = false;       ///< never evict
+    size_t source_index = 0;
+    uint64_t last_fault = 0;   ///< fault-in order, eviction victims oldest-first
+  };
+
   /// One lazily built index. The unique_ptr owns the storage; `ready`
   /// republishes it to readers without taking the build mutex on hits.
   /// `retired` keeps replaced stale indexes alive until a reader-free
@@ -138,14 +209,32 @@ class Store {
     std::vector<std::unique_ptr<DocumentStats>> retired;
   };
 
-  std::vector<std::unique_ptr<Document>> documents_;
-  std::unordered_map<std::string, DocId> by_name_;
+  /// Slow path of document(): materializes a lazily attached document
+  /// through the source (build-once under fault_mu_, atomic publication).
+  const Document& FaultIn(DocId id) const;
+
+  /// Registers (or replaces) the slot for a document named `name`,
+  /// invalidating its index and stats slots. Returns its id.
+  DocId UpsertSlot(const std::string& name);
+
+  /// Evicts resident unpinned lazy documents, oldest fault first, until the
+  /// source's residency fits its cache limit. Caller guarantees no reader
+  /// is open.
+  void EvictOverLimit() const;
+
   // Slot pointers are stable; the vectors themselves only grow inside
-  // AddDocument (writer-exclusive), so readers may index them freely.
+  // AddDocument / AttachSource (writer-exclusive), so readers may index
+  // them freely. `docs_` is mutable because fault-in happens on the const
+  // read path.
+  mutable std::vector<std::unique_ptr<DocSlot>> docs_;
+  std::unordered_map<std::string, DocId> by_name_;
+  std::unique_ptr<DocumentSource> source_;
   mutable std::vector<std::unique_ptr<IndexSlot>> indexes_;
   mutable std::vector<std::unique_ptr<StatsSlot>> stats_;
+  mutable std::mutex fault_mu_;
   mutable std::mutex index_build_mu_;
   mutable std::mutex stats_build_mu_;
+  mutable uint64_t fault_clock_ = 0;
   mutable std::atomic<int> open_readers_{0};
   std::atomic<uint64_t> version_{0};
 };
