@@ -17,7 +17,8 @@
 //   kStoreOpenWrite       storage::PageFileWriter: fopen of a store file
 //   kStoreWrite           storage::PageFileWriter: a page fwrite
 //   kStoreClose           storage::PageFileWriter: fclose / commit rename
-//   kStoreOpenRead        storage::MappedFile: open/mmap of a store file
+//   kStoreOpenRead        storage::PageFileReader / ValidateFileHeader:
+//                         fopen of a store file
 //   kStoreRead            storage page decode (per page-in)
 //
 // When disarmed (the default, and always in production) the hook is one

@@ -1,20 +1,44 @@
 #include "nal/symbol.h"
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <mutex>
-
-#include "xml/arena.h"
+#include <string>
+#include <unordered_map>
 
 namespace nalq::nal {
 
 namespace {
 
-/// Process-wide interner guarded by a mutex. Query compilation and the
-/// benchmarks are single-threaded, so contention is not a concern; the lock
-/// keeps multi-threaded test runners safe.
+/// Process-wide symbol table guarded by a mutex. Unlike a Document's
+/// xml::StringInterner (single-writer by contract), this table IS interned
+/// into concurrently — the query service compiles queries on many threads
+/// — and str() hands the interned bytes out as a string_view that outlives
+/// the lock. The strings therefore live in a deque: growth never relocates
+/// existing elements, so a view returned by str() stays valid for the
+/// process lifetime no matter how many symbols later compiles intern (a
+/// vector<string> would move its strings on reallocation, rewriting
+/// small-string bytes another thread is reading — a data race TSan catches
+/// in the concurrent storage/service suites).
 struct GlobalTable {
   std::mutex mu;
-  xml::StringInterner interner;
+  std::deque<std::string> strings;
+  std::unordered_map<std::string_view, uint32_t> ids;
+
+  GlobalTable() {
+    strings.emplace_back();  // id 0 is always the empty symbol
+    ids.emplace(strings.back(), 0);
+  }
+
+  uint32_t Intern(std::string_view s) {
+    auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings.size());
+    strings.emplace_back(s);
+    ids.emplace(strings.back(), id);  // key views the deque's stable copy
+    return id;
+  }
 };
 
 GlobalTable& Table() {
@@ -31,13 +55,16 @@ Symbol::Symbol(std::string_view name) {
   }
   GlobalTable& table = Table();
   std::lock_guard<std::mutex> lock(table.mu);
-  id_ = table.interner.Intern(name);
+  id_ = table.Intern(name);
 }
 
 std::string_view Symbol::str() const {
   GlobalTable& table = Table();
+  // The lock covers the deque indexing (concurrent growth mutates deque
+  // bookkeeping); the returned view itself is stable — deque elements are
+  // never relocated and interned strings are never mutated or freed.
   std::lock_guard<std::mutex> lock(table.mu);
-  return table.interner.Get(id_);
+  return table.strings[id_];
 }
 
 Symbol Symbol::Fresh(std::string_view base) {

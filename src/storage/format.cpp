@@ -2,6 +2,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "engine/error.h"
 #include "nal/fault_injection.h"
@@ -27,7 +33,34 @@ using nal::codec::PutU32;
   throw Error(ErrorCode::kStoreCorrupt, what, 0, path, "storage.page");
 }
 
+/// fsyncs the directory containing `path` so a just-committed rename in it
+/// is durable. Returns 0 on success, the errno otherwise. No-op success on
+/// platforms without directory fsync.
+int SyncDirContaining(const std::string& path) {
+#ifndef _WIN32
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return errno != 0 ? errno : EIO;
+  int rc = ::fsync(fd);
+  int err = errno;
+  ::close(fd);
+  if (rc != 0) return err != 0 ? err : EIO;
+#else
+  (void)path;
+#endif
+  return 0;
+}
+
 }  // namespace
+
+int FlushToDisk(std::FILE* f) {
+  if (std::fflush(f) != 0) return errno != 0 ? errno : EIO;
+#ifndef _WIN32
+  if (::fsync(::fileno(f)) != 0) return errno != 0 ? errno : EIO;
+#endif
+  return 0;
+}
 
 uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
   // Table-driven CRC-32 (IEEE reflected polynomial 0xEDB88320), the same
@@ -112,6 +145,15 @@ void PageFileWriter::Close() {
     std::fclose(file_);
     file_ = nullptr;
     ThrowIo("persistent-store file close failed", path_, err,
+            FaultSite::kStoreClose);
+  }
+  // Durability: the pages must be on stable storage before the manifest
+  // rename can name this file — otherwise a power loss after the rename
+  // leaves a committed manifest pointing at never-written data.
+  if (int err = FlushToDisk(file_); err != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    ThrowIo("persistent-store file sync failed", path_, err,
             FaultSite::kStoreClose);
   }
   int rc = std::fclose(file_);
@@ -271,6 +313,15 @@ void CommitRename(const std::string& from, const std::string& to) {
   }
   if (std::rename(from.c_str(), to.c_str()) != 0) {
     ThrowIo("persistent-store manifest commit failed", to, errno,
+            FaultSite::kStoreClose);
+  }
+  // The rename is in the directory's in-memory state; fsync the directory
+  // so it is on disk too before RemoveStaleEpochs deletes the previous
+  // epoch. A failure here means the commit may not be durable — report it
+  // (the rename itself already happened, so the store stays openable
+  // either way; the caller just must not delete the old epoch).
+  if (int err = SyncDirContaining(to); err != 0) {
+    ThrowIo("persistent-store directory sync failed", to, err,
             FaultSite::kStoreClose);
   }
 }

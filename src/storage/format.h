@@ -131,8 +131,19 @@ class PageFileReader {
 /// without slurping its pages). Throws like the PageFileReader constructor.
 void ValidateFileHeader(const std::string& path, FileKind expected_kind);
 
-/// Atomically renames `from` onto `to` — the manifest commit point.
-/// Throws kStoreIo (site store.close) on failure.
+/// fflush + fsync of `f`, so the stream's bytes are on stable storage
+/// before the caller fcloses it. Returns 0 on success, the errno
+/// otherwise. The rename-based commit protocol is only crash-safe against
+/// power loss when data and manifest bytes reach disk BEFORE the rename
+/// does — a journal can persist the rename first, leaving a committed
+/// manifest naming files whose contents never landed.
+int FlushToDisk(std::FILE* f);
+
+/// Atomically renames `from` onto `to` — the manifest commit point — and
+/// fsyncs the containing directory so the rename itself survives power
+/// loss (without it, reopening after a crash could still see the old
+/// manifest even though RemoveStaleEpochs already ran against the new
+/// one). Throws kStoreIo (site store.close) on failure.
 void CommitRename(const std::string& from, const std::string& to);
 
 }  // namespace nalq::storage

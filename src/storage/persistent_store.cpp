@@ -88,6 +88,15 @@ void CommitManifest(const std::string& dir, const Manifest& m) {
     throw Error(ErrorCode::kStoreIo, "persistent-store manifest write failed",
                 err, tmp, "store.write");
   }
+  // The manifest bytes must hit stable storage before the rename commits
+  // them: a journal may persist the rename first, and a power loss then
+  // would leave a committed manifest that is empty or torn.
+  if (int err = FlushToDisk(f); err != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw Error(ErrorCode::kStoreIo, "persistent-store manifest sync failed",
+                err, tmp, "store.close");
+  }
   if (std::fclose(f) != 0) {
     int err = errno;
     std::remove(tmp.c_str());
@@ -239,6 +248,12 @@ void PutIdVector(std::string* out, const std::vector<xml::NodeId>& ids) {
 bool ReadIdVector(ByteReader* r, std::vector<xml::NodeId>* out) {
   uint32_t n = 0;
   if (!r->U32(&n)) return false;
+  // The count is untrusted input: a crafted file (CRCs recomputed to
+  // match) could otherwise drive a multi-GB reserve and surface as
+  // bad_alloc/OOM instead of the structured kStoreCorrupt contract. Every
+  // encoded id is at least 4 bytes, so a count that cannot fit in the
+  // remaining buffer is corrupt by construction.
+  if (n > r->remaining() / 4) return false;
   out->clear();
   out->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -265,6 +280,9 @@ bool ReadIdListMap(ByteReader* r,
                    std::unordered_map<uint32_t, std::vector<xml::NodeId>>* m) {
   uint32_t n = 0;
   if (!r->U32(&n)) return false;
+  // Untrusted count (see ReadIdVector): each entry is at least a 4-byte
+  // key plus a 4-byte list count.
+  if (n > r->remaining() / 8) return false;
   m->clear();
   m->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -294,6 +312,10 @@ template <typename Key>
 bool ReadCountMap(ByteReader* r, std::unordered_map<Key, uint64_t>* m) {
   uint32_t n = 0;
   if (!r->U32(&n)) return false;
+  // Untrusted count (see ReadIdVector): each entry is a key (4 or 8
+  // bytes) plus an 8-byte value.
+  constexpr size_t kMinEntry = (sizeof(Key) == 4 ? 4 : 8) + 8;
+  if (n > r->remaining() / kMinEntry) return false;
   m->clear();
   m->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -603,6 +625,25 @@ void Persist(const xml::Store& store, const std::string& dir) {
                 "persistent-store directory creation failed", ec.value(), dir,
                 "store.open_write");
   }
+  // Persisting over the store's own attached source (warm attach →
+  // re-persist with one NALQ_STORE_DIR) must not delete the epoch that
+  // source's in-memory manifest still references: the live attachment
+  // would keep serving until the first eviction+refault, then fail with
+  // kStoreIo on the vanished files. Detect it (inode-level where possible,
+  // canonical-path fallback) and keep the superseded epoch; the next
+  // Persist from an unattached store reclaims it.
+  bool onto_attached_source = false;
+  if (const xml::DocumentSource* src = store.source();
+      src != nullptr && !src->location().empty()) {
+    std::error_code eq_ec;
+    onto_attached_source =
+        std::filesystem::equivalent(src->location(), dir, eq_ec);
+    if (eq_ec) {
+      onto_attached_source =
+          std::filesystem::weakly_canonical(src->location(), eq_ec) ==
+          std::filesystem::weakly_canonical(dir, eq_ec);
+    }
+  }
   const uint64_t epoch = NextEpoch(dir);
   Manifest manifest;
   manifest.epoch = epoch;
@@ -641,8 +682,10 @@ void Persist(const xml::Store& store, const std::string& dir) {
   }
   CommitManifest(dir, manifest);
   // Only after the commit: the old epoch's files stop being reachable the
-  // instant the rename lands, so deleting them can never un-commit a store.
-  RemoveStaleEpochs(dir, epoch);
+  // instant the rename lands, so deleting them can never un-commit a store
+  // — unless the old epoch is exactly what the attached source still reads
+  // (see above), in which case it is left in place.
+  if (!onto_attached_source) RemoveStaleEpochs(dir, epoch);
 }
 
 // ---------------------------------------------------------------------------

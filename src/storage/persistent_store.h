@@ -18,7 +18,21 @@
 // anywhere before the rename leaves the old manifest and the old epoch's
 // files untouched — the store reopens at its previous contents; only after
 // the rename are stale epochs deleted (tests/storage_test.cpp drives the
-// torn-write paths through the store.* fault sites).
+// torn-write paths through the store.* fault sites). The ordering holds
+// across power loss too, not just process crashes: every data file is
+// fsynced before Close returns, the temp manifest is fsynced before the
+// rename, and the directory is fsynced after it — so the rename can never
+// reach disk ahead of the bytes it names, and stale-epoch deletion only
+// runs once the commit is durable.
+//
+// Persisting into the directory a store's own attached source was opened
+// from (warm attach → re-persist, e.g. Engine::AttachStore then
+// Engine::PersistStore with one NALQ_STORE_DIR) is supported: Persist
+// detects it via DocumentSource::location() and skips stale-epoch removal
+// so the files the live attachment's manifest still references survive —
+// eviction and refault keep working, and the next open picks up the new
+// epoch. The superseded epoch's files are reclaimed by the next Persist
+// into that directory from a store not attached to it.
 //
 // Reconstruction determinism (what makes lazy eviction safe, see
 // document_source.h): a document is persisted as its interner's string
@@ -97,6 +111,9 @@ class StoreCodec {
 /// creating the directory if needed. Reads `store` under a StoreReadLease;
 /// the caller must not mutate the store concurrently. Throws engine::Error
 /// on any I/O failure, leaving the directory's previous contents openable.
+/// When `dir` is the directory the store's own attached source was opened
+/// from, the superseded epoch's files are kept (not deleted) so the live
+/// attachment keeps working — see the file comment.
 void Persist(const xml::Store& store, const std::string& dir);
 
 /// An opened persisted store directory: validates the manifest and every
@@ -145,6 +162,7 @@ class PersistentStore : public xml::DocumentSource {
   uint64_t cache_limit_bytes() const override {
     return budget_.limit_bytes();
   }
+  std::string location() const override { return dir_; }
 
  private:
   PersistentStore(std::string dir, Manifest manifest, const Options& opts);

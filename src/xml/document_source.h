@@ -74,6 +74,13 @@ class DocumentSource {
   /// Residency target the Store evicts down to at lease boundaries;
   /// 0 = unlimited (no eviction).
   virtual uint64_t cache_limit_bytes() const = 0;
+
+  /// Where this source's backing data lives (the persisted store's
+  /// directory), or empty for sources with no on-disk location. Persist
+  /// compares it against its target directory to detect a store being
+  /// re-persisted over its own attachment — deleting the old epoch there
+  /// would break the live source's lazy refaults (storage/README.md).
+  virtual std::string location() const { return {}; }
 };
 
 }  // namespace nalq::xml

@@ -104,6 +104,18 @@ const Document& Store::FaultIn(DocId id) const {
 void Store::EvictOverLimit() const {
   const uint64_t limit = source_->cache_limit_bytes();
   if (limit == 0) return;
+  // Excluding reader registration for the duration makes the reader-free
+  // check authoritative: the caller's unlocked open_readers() probe is only
+  // a fast path, because a concurrent StoreReadLease could complete
+  // BeginRead between that probe and the frees below and start
+  // dereferencing a document this loop is about to destroy. Under the
+  // lock, a racing lease either registered first (the re-check sees it and
+  // skips eviction) or blocks in BeginRead until eviction finishes and
+  // faults evicted documents back in. Lock order: reader_reg_mu_ then
+  // fault_mu_ (FaultIn takes fault_mu_ alone, BeginRead reader_reg_mu_
+  // alone — no cycle).
+  std::lock_guard<std::mutex> reg_lock(reader_reg_mu_);
+  if (open_readers() != 0) return;
   std::lock_guard<std::mutex> lock(fault_mu_);
   while (source_->resident_bytes() > limit) {
     DocSlot* victim = nullptr;
@@ -115,8 +127,9 @@ void Store::EvictOverLimit() const {
       }
     }
     if (victim == nullptr) break;  // everything left is pinned or gone
-    // Reader-free by contract (caller checked), so the document can be
-    // freed outright — no retirement needed. The index and statistics
+    // Reader-free (re-verified under reader_reg_mu_ above, which BeginRead
+    // also takes), so the document can be freed outright — no retirement
+    // needed. The index and statistics
     // slots stay published: reconstruction determinism (document_source.h)
     // keeps them valid for the refaulted incarnation, and version() is
     // deliberately not bumped (content unchanged, cached plans stay good).
@@ -166,6 +179,10 @@ void Store::PrepareForRead() const {
       if (open_readers() == 0) slot.retired.clear();
     }
   }
+  // The open_readers() probe is only a fast path — EvictOverLimit
+  // re-verifies it under reader_reg_mu_, which BeginRead also takes, so a
+  // lease completing registration concurrently can never lose a resident
+  // document it is about to read.
   if (source_ != nullptr && open_readers() == 0) EvictOverLimit();
 }
 

@@ -145,14 +145,25 @@ class Store {
   void PrepareForRead() const;
 
   /// Reader registration for the single-writer contract (see file comment).
-  /// Cheap relaxed counters; pair every BeginRead with one EndRead (or use
-  /// StoreReadLease below). Held for the duration of an evaluation — while
-  /// cursors are open — not for the lifetime of an Evaluator, so a test may
-  /// still construct an evaluator first and load documents afterwards.
+  /// Pair every BeginRead with one EndRead (or use StoreReadLease below).
+  /// Held for the duration of an evaluation — while cursors are open — not
+  /// for the lifetime of an Evaluator, so a test may still construct an
+  /// evaluator first and load documents afterwards. Both ends register
+  /// under reader_reg_mu_, the lock eviction re-verifies reader-freedom
+  /// under. BeginRead needs it so a reader cannot register (and start
+  /// dereferencing a resident document) between EvictOverLimit's
+  /// reader-free check and the free — a use-after-free. EndRead needs it
+  /// for the memory-model edge in the other direction: the mutex makes a
+  /// finished reader's document accesses happen-before any eviction that
+  /// later observes the store reader-free. A lock-free relaxed decrement
+  /// is logically ordered but carries no such edge — the reader's last
+  /// loads may be reordered past it, racing the free (TSan flags it).
   void BeginRead() const {
+    std::lock_guard<std::mutex> lock(reader_reg_mu_);
     open_readers_.fetch_add(1, std::memory_order_relaxed);
   }
   void EndRead() const {
+    std::lock_guard<std::mutex> lock(reader_reg_mu_);
     open_readers_.fetch_sub(1, std::memory_order_relaxed);
   }
   int open_readers() const {
@@ -218,8 +229,13 @@ class Store {
   DocId UpsertSlot(const std::string& name);
 
   /// Evicts resident unpinned lazy documents, oldest fault first, until the
-  /// source's residency fits its cache limit. Caller guarantees no reader
-  /// is open.
+  /// source's residency fits its cache limit. Holds reader_reg_mu_ for the
+  /// duration and re-verifies open_readers()==0 under it, so a concurrent
+  /// lease entering through BeginRead either registers before the check
+  /// (eviction skipped) or blocks until eviction finishes (and then faults
+  /// evicted documents back in) — never observes a mid-free document. The
+  /// same lock in EndRead orders a finished reader's accesses before the
+  /// frees here (see BeginRead/EndRead).
   void EvictOverLimit() const;
 
   // Slot pointers are stable; the vectors themselves only grow inside
@@ -234,6 +250,10 @@ class Store {
   mutable std::mutex fault_mu_;
   mutable std::mutex index_build_mu_;
   mutable std::mutex stats_build_mu_;
+  /// Serializes reader registration (BeginRead) with eviction
+  /// (EvictOverLimit); see BeginRead. Lock order where nested:
+  /// reader_reg_mu_ before fault_mu_; never held with the build mutexes.
+  mutable std::mutex reader_reg_mu_;
   mutable uint64_t fault_clock_ = 0;
   mutable std::atomic<int> open_readers_{0};
   std::atomic<uint64_t> version_{0};

@@ -22,6 +22,7 @@
 #include "datagen/datagen.h"
 #include "engine/engine.h"
 #include "engine/error.h"
+#include "nal/codec.h"
 #include "nal/fault_injection.h"
 #include "service/query_service.h"
 #include "storage/format.h"
@@ -695,6 +696,126 @@ TEST(StorageConcurrencyTest, ConcurrentReadersShareOneAttachedStore) {
   }
   for (std::thread& th : threads) th.join();
   for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
+// Eviction racing reader registration (the TOCTOU regression): with a tiny
+// cache limit every reader-free lease boundary evicts everything, so
+// concurrent queries constantly interleave EvictOverLimit's reader-free
+// check with other threads completing BeginRead and dereferencing resident
+// documents. Without the reader-registration lock this is a use-after-free
+// (a lease could register between the check and the free); with it, every
+// run must stay byte-identical. Exercised under TSan in CI.
+TEST(StorageConcurrencyTest, ConcurrentQueriesUnderCacheLimitStayIdentical) {
+  engine::Engine text_engine;
+  LoadCorpus(&text_engine, 25);
+  std::string references[kQueryCount];
+  for (size_t q = 0; q < kQueryCount; ++q) {
+    references[q] = text_engine.RunQuery(kQueries[q]).output;
+  }
+  TempDir dir;
+  text_engine.PersistStore(dir.str());
+
+  ASSERT_EQ(::setenv("NALQ_STORE_CACHE_BYTES", "4096", 1), 0);
+  engine::Engine warm;
+  warm.AttachStore(dir.str());
+  ASSERT_EQ(::unsetenv("NALQ_STORE_CACHE_BYTES"), 0);
+  ASSERT_EQ(warm.store().source()->cache_limit_bytes(), 4096u);
+
+  constexpr int kThreads = 6;
+  constexpr int kItersPerThread = 3;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int iter = 0; iter < kItersPerThread; ++iter) {
+          size_t q = static_cast<size_t>(t + iter) % kQueryCount;
+          engine::ExecMode mode = (t + iter) % 2 == 0
+                                      ? engine::ExecMode::kStreaming
+                                      : engine::ExecMode::kParallel;
+          engine::RunResult r = warm.RunQuery(kQueries[q], mode);
+          if (r.output != references[q]) {
+            failures[t] = "thread " + std::to_string(t) + " iter " +
+                          std::to_string(iter) + " Q" + std::to_string(q + 1) +
+                          " output diverged";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
+// ---------------------------------------------------------------------------
+// Persisting into the directory the store is itself attached to must not
+// self-destruct the attachment: the superseded epoch's files stay in place
+// (the live source's manifest still references them), so post-persist
+// eviction + refault keeps working, and a fresh open sees the new epoch.
+
+TEST(StorageDifferentialTest, PersistIntoOwnAttachedDirKeepsLiveEpoch) {
+  engine::Engine text_engine;
+  LoadCorpus(&text_engine, 25);
+  std::string reference = text_engine.RunQuery(kQueries[0]).output;
+  TempDir dir;
+  text_engine.PersistStore(dir.str());
+  const uint64_t first_epoch = storage::PersistentStore::Open(dir.str())->epoch();
+
+  // Tiny cache limit: every lease boundary evicts, so every query after
+  // the self-persist refaults from the files the attachment was opened
+  // with — exactly the files stale-epoch removal must not delete.
+  ASSERT_EQ(::setenv("NALQ_STORE_CACHE_BYTES", "4096", 1), 0);
+  engine::Engine warm;
+  warm.AttachStore(dir.str());
+  ASSERT_EQ(::unsetenv("NALQ_STORE_CACHE_BYTES"), 0);
+  EXPECT_EQ(warm.RunQuery(kQueries[0]).output, reference);
+
+  warm.PersistStore(dir.str());
+
+  // The live attachment still refaults from its original epoch's files.
+  EXPECT_EQ(warm.RunQuery(kQueries[0]).output, reference);
+  bool old_epoch_alive = false;
+  const std::string old_tag = "e" + std::to_string(first_epoch) + "_";
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    if (entry.path().filename().string().rfind(old_tag, 0) == 0) {
+      old_epoch_alive = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(old_epoch_alive)
+      << "self-persist deleted the attached source's own epoch";
+
+  // A fresh open commits forward: new epoch, same answers.
+  auto reopened = storage::PersistentStore::Open(dir.str());
+  EXPECT_GT(reopened->epoch(), first_epoch);
+  engine::Engine rewarm;
+  rewarm.AttachStore(dir.str());
+  EXPECT_EQ(rewarm.RunQuery(kQueries[0]).output, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Untrusted counts: a blob whose declared entry count cannot fit in the
+// bytes that follow must decode to null (→ structured kStoreCorrupt at the
+// call site), never reserve gigabytes and die with bad_alloc.
+
+TEST(StorageCodecTest, HugeDeclaredCountFailsClosedWithoutAllocating) {
+  using nal::codec::PutU32;
+  using nal::codec::PutU64;
+  std::string blob;
+  PutU64(&blob, 42);          // built_node_count
+  PutU32(&blob, 0xFFFFFFFFu); // all_elements_ count: 16 GB of ids declared
+  EXPECT_EQ(storage::StoreCodec::DecodeIndex(blob), nullptr);
+
+  std::string stats_blob;
+  PutU64(&stats_blob, 42);  // built_node_count
+  PutU64(&stats_blob, 1);   // element_count
+  PutU64(&stats_blob, 0);   // attribute_count
+  PutU64(&stats_blob, 0);   // text_node_count
+  PutU32(&stats_blob, 0xFFFFFFFFu);  // elements_ map count
+  EXPECT_EQ(storage::StoreCodec::DecodeStats(stats_blob), nullptr);
 }
 
 // ---------------------------------------------------------------------------
